@@ -1,0 +1,126 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+Each ablation evaluates RL-policy variants on one hot benchmark
+(canneal-like traffic, where mode choice matters most) at a reduced
+scale, and reports the measured deltas.  These are exploratory benches:
+they assert only sanity (everything delivers, metrics finite), and print
+the comparison for EXPERIMENTS.md.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.controller import ControlPolicy, compute_reward
+from repro.core.modes import OperationMode
+from repro.core.rl_policy import RLControlPolicy
+from repro.sim import Simulator, scaled_config, synthesize_benchmark_trace
+
+
+def ablation_config(**overrides):
+    params = dict(
+        width=4,
+        height=4,
+        epoch_cycles=250,
+        pretrain_cycles=int(os.environ.get("REPRO_ABLATION_PRETRAIN", "30000")),
+        warmup_cycles=1500,
+    )
+    params.update(overrides)
+    return scaled_config(**params)
+
+
+def run_rl_variant(policy, config, seed=21, trace_cycles=2000):
+    records = synthesize_benchmark_trace("canneal", config, trace_cycles, seed)
+    sim = Simulator(config, policy, seed=seed)
+    sim.pretrain()
+    policy.freeze()
+    sim.warmup()
+    return sim.measure_trace(records, "canneal")
+
+
+def summarize(label, result):
+    print(
+        f"  {label:28s} lat={result.mean_latency:7.1f} "
+        f"retx={result.retransmission_events:5d} "
+        f"eff={result.energy_efficiency:8.1f} "
+        f"dynP={result.dynamic_power_watts*1e3:6.1f}mW"
+    )
+    assert result.packets_delivered > 0
+    assert result.mean_latency > 0
+
+
+class _ShapedRewardRL(RLControlPolicy):
+    """RL variant applying a monotone re-shaping to the paper reward.
+
+    ``r**0.5`` compresses the reward range, de-emphasizing the power
+    term's large relative swings (a latency-leaning learner); ``r**2``
+    amplifies them (power-leaning).  Both preserve per-state ordering of
+    identical (latency, power) pairs, isolating the effect of reward
+    *scale* on tabular learning.
+    """
+
+    def __init__(self, exponent, **kwargs):
+        super().__init__(**kwargs)
+        self.exponent = exponent
+
+    def learn(self, router_id, obs, action, reward, next_obs):
+        super().learn(router_id, obs, action, reward ** self.exponent, next_obs)
+
+
+def test_ablation_reward_shape():
+    """Paper reward 1/(lat x power) vs compressed / amplified variants."""
+    print("\n=== Ablation: reward shape (canneal) ===")
+    config = ablation_config()
+    for label, factory in [
+        ("paper 1/(lat*power)", lambda: RLControlPolicy(share_table=True, seed=21)),
+        ("latency-leaning r^0.5", lambda: _ShapedRewardRL(0.5, share_table=True, seed=21)),
+        ("power-leaning r^2", lambda: _ShapedRewardRL(2.0, share_table=True, seed=21)),
+    ]:
+        summarize(label, run_rl_variant(factory(), config))
+
+
+def test_ablation_epoch_length():
+    """Control epoch length: 125 / 250 / 500 cycles (paper: 1K)."""
+    print("\n=== Ablation: control epoch length (canneal) ===")
+    for epoch in (125, 250, 500):
+        config = ablation_config(epoch_cycles=epoch)
+        policy = RLControlPolicy(share_table=True, seed=21)
+        result = run_rl_variant(policy, config)
+        summarize(f"epoch={epoch} cycles", result)
+
+
+def test_ablation_exploration_rate():
+    """Testing-phase epsilon: 0.0 / 0.02 / 0.1 (paper: 0.1)."""
+    print("\n=== Ablation: testing-phase epsilon (canneal) ===")
+    config = ablation_config()
+    for epsilon in (0.0, 0.02, 0.1):
+        policy = RLControlPolicy(epsilon=epsilon, share_table=True, seed=21)
+        result = run_rl_variant(policy, config)
+        summarize(f"epsilon={epsilon}", result)
+
+
+def test_ablation_state_features():
+    """Full Table I state vs compact aggregate vs mode-less state."""
+    print("\n=== Ablation: state encoding (canneal) ===")
+    variants = [
+        ("compact + mode (default)", dict(compact_state=True, include_mode_in_state=True)),
+        ("compact, no mode", dict(compact_state=True, include_mode_in_state=False)),
+        ("full Table I + mode", dict(compact_state=False, include_mode_in_state=True)),
+    ]
+    for label, overrides in variants:
+        config = ablation_config(**overrides)
+        policy = RLControlPolicy(share_table=True, seed=21)
+        result = run_rl_variant(policy, config)
+        summarize(label, result)
+
+
+def test_ablation_shared_vs_per_router_table():
+    """The paper's strictly per-router agents vs the shared-table
+    accelerator used by scaled runs."""
+    print("\n=== Ablation: Q-table sharing (canneal) ===")
+    config = ablation_config()
+    for label, share in [("shared table", True), ("per-router tables", False)]:
+        policy = RLControlPolicy(share_table=share, seed=21)
+        result = run_rl_variant(policy, config)
+        summarize(label, result)

@@ -1,0 +1,62 @@
+"""Fig. 10 — dynamic power consumption, normalized to CRC.
+
+Paper (Section VI-A): the proposed framework reduces dynamic power by an
+average of 46 % over CRC (normalized ~ 0.54) thanks to the reduction in
+retransmission traffic, and by 17 % over the DT baseline.
+"""
+
+from conftest import print_figure
+
+from repro.sim import DESIGN_ORDER, geometric_mean, normalize_to_baseline
+
+PAPER_AVERAGES = {"crc": 1.00, "arq_ecc": 0.75, "dt": 0.65, "rl": 0.54}
+
+
+def figure_rows(suite):
+    averages = {}
+    rows = []
+    for design in DESIGN_ORDER:
+        values = [
+            normalize_to_baseline(results, lambda r: r.dynamic_power_watts)[design]
+            for results in suite.values()
+        ]
+        averages[design] = geometric_mean(values)
+        rows.append([design, PAPER_AVERAGES[design], averages[design]])
+    return rows, averages
+
+
+def test_fig10_dynamic_power(suite_results, benchmark):
+    rows, averages = benchmark.pedantic(
+        figure_rows, args=(suite_results,), rounds=1, iterations=1
+    )
+    print_figure(
+        "Fig. 10: dynamic power (normalized to CRC)",
+        ["design", "paper", "measured"],
+        rows,
+    )
+    # Retransmission traffic dominates dynamic power under faults: every
+    # fault-tolerant design consumes less than the CRC baseline.
+    for design in ("arq_ecc", "dt", "rl"):
+        assert averages[design] < 1.0
+    # Paper: 46 % reduction for RL.  Our adaptive designs burn part of
+    # the saved retransmission energy on mode-2 duplicate flits, so the
+    # measured reduction is smaller; require a clear reduction (>= 10 %).
+    assert averages["rl"] < 0.90
+
+
+def test_fig10_dynamic_power_tracks_retransmissions(suite_results):
+    """Within each benchmark, the design with more retransmission events
+    should not consume meaningfully less dynamic power — the mechanism
+    behind Fig. 10 per the paper's analysis."""
+    violations = 0
+    comparisons = 0
+    for bench, results in suite_results.items():
+        crc = results["crc"]
+        rl = results["rl"]
+        comparisons += 1
+        if (
+            rl.retransmission_events < 0.7 * crc.retransmission_events
+            and rl.dynamic_power_watts > 1.05 * crc.dynamic_power_watts
+        ):
+            violations += 1
+    assert violations <= comparisons // 4

@@ -1,0 +1,51 @@
+"""Fig. 8 — average end-to-end packet latency, normalized to CRC.
+
+Paper (Section VI-A): ARQ+ECC reduces average E2E latency by 30 % over
+CRC (normalized ~ 0.70); the proposed RL design by 55 % (~ 0.45), which
+is also 10 % below the DT baseline (~ 0.50).
+"""
+
+from conftest import print_figure
+
+from repro.sim import DESIGN_ORDER, geometric_mean, normalize_to_baseline
+
+PAPER_AVERAGES = {"crc": 1.00, "arq_ecc": 0.70, "dt": 0.50, "rl": 0.45}
+
+
+def figure_rows(suite):
+    averages = {}
+    rows = []
+    for design in DESIGN_ORDER:
+        values = [
+            normalize_to_baseline(results, lambda r: r.mean_latency)[design]
+            for results in suite.values()
+        ]
+        averages[design] = geometric_mean(values)
+        rows.append([design, PAPER_AVERAGES[design], averages[design]])
+    return rows, averages
+
+
+def test_fig8_latency(suite_results, benchmark):
+    rows, averages = benchmark.pedantic(
+        figure_rows, args=(suite_results,), rounds=1, iterations=1
+    )
+    print_figure(
+        "Fig. 8: average end-to-end latency (normalized to CRC)",
+        ["design", "paper", "measured"],
+        rows,
+    )
+    # The CRC baseline is the slowest design under faults.
+    for design in ("arq_ecc", "dt", "rl"):
+        assert averages[design] < 1.0
+    # And the reduction is substantial (paper: 55 % for RL; require >= 30 %).
+    assert averages["rl"] < 0.70
+
+
+def test_fig8_per_benchmark_series(suite_results):
+    print("\nFig. 8 per-benchmark series (normalized to CRC):")
+    for bench, results in sorted(suite_results.items()):
+        normalized = normalize_to_baseline(results, lambda r: r.mean_latency)
+        series = "  ".join(f"{d}={normalized[d]:.2f}" for d in DESIGN_ORDER)
+        print(f"  {bench:14s} {series}")
+        # No benchmark may invert the headline: RL never slower than CRC.
+        assert normalized["rl"] < 1.20

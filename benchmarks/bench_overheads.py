@@ -1,0 +1,78 @@
+"""Section VI-B — computation, area, and energy overheads of the RL logic.
+
+Paper anchors:
+
+* computation: one RL step (table lookup + Q update) costs 150 ns worst
+  case, hidden inside the 1K-cycle (500 ns at 2 GHz ... actually 1K
+  cycles = 500 ns; the paper's point is that the step overlaps the epoch);
+* area: the RL logic adds 2360 um^2 — 5.5 % / 4.8 % / 4.5 % over the
+  CRC / ARQ+ECC / DT routers;
+* energy: 0.16 pJ per flit on a ~13.33 pJ baseline = 1.2 %.
+"""
+
+import random
+
+import pytest
+
+from repro.core.qlearning import QLearningAgent
+from repro.power import RouterAreaModel, RouterPowerModel
+
+
+class TestComputationOverhead:
+    def test_rl_step_cost(self, benchmark):
+        """Time one Q-learning step (lookup + TD update).
+
+        The hardware budget is 150 ns; a Python dict update is obviously
+        slower, so the bench asserts the *architectural* property instead:
+        one step per router per epoch is a tiny constant amount of work,
+        independent of network size or traffic.
+        """
+        agent = QLearningAgent(4, rng=random.Random(0))
+        states = [(b, u, n, t) for b in range(3) for u in range(3) for n in range(3) for t in range(3)]
+        for s in states:
+            agent.update(s, 0, 1.0, s)
+        idx = {"i": 0}
+
+        def one_step():
+            s = states[idx["i"] % len(states)]
+            idx["i"] += 1
+            action = agent.select_action(s)
+            agent.update(s, action, 1.0, states[(idx["i"] + 1) % len(states)])
+
+        benchmark(one_step)
+        # Work per step never grows with the table: 4 Q-values touched.
+        assert agent.num_actions == 4
+
+    def test_step_hidden_by_epoch(self):
+        """150 ns at 2 GHz = 300 cycles < the 1000-cycle epoch."""
+        step_cycles = 150e-9 * 2.0e9
+        assert step_cycles < 1000
+
+
+class TestAreaOverhead:
+    def test_paper_numbers(self, benchmark):
+        model = RouterAreaModel()
+        summary = benchmark.pedantic(model.summary, rounds=1, iterations=1)
+        print("\n=== Section VI-B: area overhead ===")
+        print(f"  RL logic added area: {summary['rl_added_um2']:.0f} um^2 (paper: 2360)")
+        print(f"  vs CRC router:      {summary['overhead_vs_crc']*100:.1f} % (paper: 5.5 %)")
+        print(f"  vs ARQ+ECC router:  {summary['overhead_vs_arq_ecc']*100:.1f} % (paper: 4.8 %)")
+        print(f"  vs DT router:       {summary['overhead_vs_dt']*100:.1f} % (paper: 4.5 %)")
+        assert summary["rl_added_um2"] == 2360.0
+        assert summary["overhead_vs_crc"] == pytest.approx(0.055, abs=0.001)
+        assert summary["overhead_vs_arq_ecc"] == pytest.approx(0.048, abs=0.001)
+        assert summary["overhead_vs_dt"] == pytest.approx(0.045, abs=0.001)
+
+
+class TestEnergyOverhead:
+    def test_paper_numbers(self, benchmark):
+        model = RouterPowerModel()
+        fraction = benchmark.pedantic(model.rl_overhead_fraction, rounds=1, iterations=1)
+        baseline = model.baseline_flit_energy_pj()
+        print("\n=== Section VI-B: energy overhead ===")
+        print(f"  baseline router energy: {baseline:.2f} pJ/flit (paper: ~13.33)")
+        print(f"  RL logic energy:        {model.params.rl_per_flit_pj:.2f} pJ/flit (paper: 0.16)")
+        print(f"  overhead:               {fraction*100:.2f} % (paper: 1.2 %)")
+        assert model.params.rl_per_flit_pj == pytest.approx(0.16)
+        assert baseline == pytest.approx(13.33, abs=0.1)
+        assert fraction == pytest.approx(0.012, abs=0.001)

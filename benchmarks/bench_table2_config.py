@@ -1,0 +1,44 @@
+"""Table II — simulation parameters.
+
+Not a results table: this bench verifies and prints that the platform
+the harness builds matches Table II, and times platform construction
+(a real cost when sweeping many configurations).
+"""
+
+from repro.baselines import crc_policy
+from repro.sim import Simulator, paper_config
+
+
+def build_platform():
+    config = paper_config()
+    return Simulator(config, crc_policy(), seed=0)
+
+
+def test_table2_platform(benchmark):
+    sim = benchmark.pedantic(build_platform, rounds=1, iterations=1)
+    config = sim.config
+    print("\n=== Table II: simulation parameters ===")
+    rows = [
+        ("# of cores", 64, config.num_nodes),
+        ("NoC topology", "8x8 2D mesh", f"{config.width}x{config.height} 2D mesh"),
+        ("Routing", "X-Y", config.routing.upper().replace("XY", "X-Y")),
+        ("VCs per port", 4, config.num_vcs),
+        ("Packet size", "128 bits/flit, 4 flits", f"{config.flit_bits} bits/flit, {config.packet_size} flits"),
+        ("Voltage", "1.0 V", f"{config.voltage} V"),
+        ("Frequency", "2.0 GHz", f"{config.clock_hz/1e9} GHz"),
+        ("RL epoch", "1K cycles", f"{config.epoch_cycles} cycles"),
+    ]
+    for name, paper, ours in rows:
+        print(f"  {name:18s} paper: {paper!s:24s} harness: {ours}")
+    assert config.num_nodes == 64
+    assert config.num_vcs == 4
+    assert config.flit_bits == 128
+    assert config.packet_size == 4
+    assert config.clock_hz == 2.0e9
+    assert config.voltage == 1.0
+    assert config.epoch_cycles == 1000
+    assert len(sim.network.routers) == 64
+    assert len(sim.network.channels) == 2 * 7 * 8 * 2  # 224 directed links
+    # Five-port routers: interior routers have all four direction links.
+    interior = sim.network.routers[9 + 8]  # (1, 2) is interior on 8x8
+    assert len(interior.outputs) == 4

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare the four fault-tolerant designs on one workload.
+
+Reproduces one column of the paper's Figs 6-10 at example scale: static
+CRC, static ARQ+ECC, the decision-tree predictor, and the proposed RL
+policy all carry the *same* canneal-like trace, and the script prints
+every evaluation metric normalized to the CRC baseline.
+
+Run:
+    python examples/compare_designs.py [benchmark]
+"""
+
+import sys
+
+from repro.sim import (
+    DESIGN_ORDER,
+    compare_designs,
+    normalize_to_baseline,
+    scaled_config,
+    synthesize_benchmark_trace,
+)
+from repro.traffic import PARSEC_PROFILES
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "canneal"
+    if benchmark not in PARSEC_PROFILES:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r}; pick one of "
+            f"{', '.join(sorted(PARSEC_PROFILES))}"
+        )
+
+    config = scaled_config(
+        width=4,
+        height=4,
+        epoch_cycles=250,
+        pretrain_cycles=40_000,
+        warmup_cycles=2_000,
+    )
+    trace = synthesize_benchmark_trace(benchmark, config, cycles=3_000, seed=7)
+    print(f"benchmark {benchmark}: {len(trace)} messages, 4x4 mesh")
+    print("running 4 designs (learning designs pre-train first) ...\n")
+
+    results = compare_designs(trace, config, benchmark=benchmark, seed=7)
+
+    metrics = [
+        ("E2E latency", lambda r: r.mean_latency, "lower"),
+        ("retransmissions", lambda r: r.retransmission_events + 1, "lower"),
+        ("energy efficiency", lambda r: r.energy_efficiency, "higher"),
+        ("dynamic power", lambda r: r.dynamic_power_watts, "lower"),
+        ("execution time", lambda r: r.execution_cycles, "lower"),
+    ]
+    header = f"{'metric':20s}" + "".join(f"{d:>10s}" for d in DESIGN_ORDER)
+    print(header + "   (normalized to CRC)")
+    print("-" * len(header))
+    for name, metric, better in metrics:
+        normalized = normalize_to_baseline(results, metric)
+        row = f"{name:20s}" + "".join(f"{normalized[d]:>10.2f}" for d in DESIGN_ORDER)
+        print(f"{row}   ({better} is better)")
+
+    print("\nabsolute numbers:")
+    for design in DESIGN_ORDER:
+        r = results[design]
+        print(
+            f"  {design:8s} lat={r.mean_latency:7.1f}cyc "
+            f"retx={r.retransmission_events:5d} "
+            f"eff={r.energy_efficiency:8.0f}flits/uJ "
+            f"dynP={r.dynamic_power_watts*1e3:6.1f}mW "
+            f"T={r.mean_temperature:.0f}C"
+        )
+
+
+if __name__ == "__main__":
+    main()

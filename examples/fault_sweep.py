@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Sweep the timing-error level and watch each operation mode's trade-off.
+
+Pins the whole mesh to each of the four operation modes in turn, sweeps a
+flat per-transfer error probability across the channels (bypassing the
+thermal loop), and prints latency / retransmissions / energy — the raw
+trade-off surface (Section III) that the RL controller learns to navigate.
+
+Run:
+    python examples/fault_sweep.py
+"""
+
+import random
+
+from repro.core.modes import OperationMode
+from repro.noc import MeshTopology, Network, Packet
+
+
+def run_point(mode: OperationMode, error: float, n_packets: int = 250, seed: int = 5):
+    rng = random.Random(seed)
+    net = Network(MeshTopology(4, 4), rng=random.Random(seed + 1))
+    net.set_all_modes(mode)
+    for _, model in net.channel_models():
+        model.event_probability = error
+    created = 0
+    while created < n_packets or not net.quiescent:
+        if created < n_packets and net.now % 2 == 0:
+            src, dst = rng.randrange(16), rng.randrange(16)
+            if src != dst:
+                net.inject(
+                    Packet(
+                        src, dst, 4, 128, net.now,
+                        payloads=[rng.getrandbits(128) for _ in range(4)],
+                    )
+                )
+                created += 1
+        net.cycle()
+        if net.now > 500_000:
+            raise RuntimeError("network failed to drain")
+    net.harvest_epoch_counters(1)
+    return net.stats
+
+
+def main() -> None:
+    print("uniform random traffic, 4x4 mesh, whole mesh pinned per mode\n")
+    print(f"{'p(error)':>9s} {'mode':>6s} {'latency':>9s} {'retx':>6s} "
+          f"{'corrected':>10s} {'escaped':>8s} {'duplicates':>11s}")
+    for error in (0.0, 0.01, 0.05, 0.15):
+        for mode in OperationMode:
+            stats = run_point(mode, error)
+            print(
+                f"{error:>9.2f} {int(mode):>6d} {stats.mean_latency:>9.1f} "
+                f"{stats.retransmission_events:>6d} {stats.corrected_errors:>10d} "
+                f"{stats.escaped_errors:>8d} {stats.duplicate_flits:>11d}"
+            )
+        print()
+    print("reading the table:")
+    print("  - mode 0 is cheapest when clean but collapses as p grows;")
+    print("  - mode 1 corrects singles, NACK-retransmits doubles per hop;")
+    print("  - mode 2 trades duplicate bandwidth for fewer retransmissions;")
+    print("  - mode 3 eliminates errors at a flat latency premium.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Comparison designs: static CRC, static ARQ+ECC, and the DT baseline."""
+
+from repro.baselines.cart import RegressionTree, TreeNode
+from repro.baselines.decision_tree import DEFAULT_THRESHOLDS, DecisionTreePolicy
+from repro.baselines.static import StaticPolicy, arq_ecc_policy, crc_policy
+
+__all__ = [
+    "RegressionTree",
+    "TreeNode",
+    "DEFAULT_THRESHOLDS",
+    "DecisionTreePolicy",
+    "StaticPolicy",
+    "arq_ecc_policy",
+    "crc_policy",
+]

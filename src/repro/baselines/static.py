@@ -1,0 +1,40 @@
+"""Static baseline policies: CRC-only and always-on ARQ+ECC.
+
+These are the two reactive designs of Section II.  The CRC design has no
+link-level protection at all — every router stays in mode 0 forever, and
+faults are caught only by the destination NI's CRC, triggering full
+end-to-end packet retransmissions.  The ARQ+ECC design keeps every
+-Link permanently enabled (mode 1): single-bit errors are corrected per
+hop, double-bit errors cost a per-hop flit retransmission, and the ECC
+hardware burns power on every transfer whether or not errors occur.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import ControlPolicy
+from repro.core.modes import OperationMode
+from repro.core.state import RouterObservation
+from repro.power.orion import DesignPowerProfile
+
+__all__ = ["StaticPolicy", "crc_policy", "arq_ecc_policy"]
+
+
+class StaticPolicy(ControlPolicy):
+    """Pins every router to one operation mode."""
+
+    def __init__(self, mode: OperationMode, profile: DesignPowerProfile) -> None:
+        self.mode = mode
+        self.profile = profile
+
+    def select(self, router_id: int, observation: RouterObservation) -> OperationMode:
+        return self.mode
+
+
+def crc_policy() -> StaticPolicy:
+    """The reactive CRC baseline (normalization reference of Figs 6-10)."""
+    return StaticPolicy(OperationMode.MODE_0, DesignPowerProfile.crc())
+
+
+def arq_ecc_policy() -> StaticPolicy:
+    """The reactive per-hop ARQ+ECC baseline."""
+    return StaticPolicy(OperationMode.MODE_1, DesignPowerProfile.arq_ecc())

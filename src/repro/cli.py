@@ -1,0 +1,213 @@
+"""Command-line interface: run experiments without writing Python.
+
+Three subcommands:
+
+``run``
+    One (design, benchmark) measurement with the full phase structure.
+``compare``
+    All four designs on one benchmark, metrics normalized to CRC.
+``sweep``
+    The classic NoC load sweep: latency vs offered load for one design,
+    showing where the saturation knee falls.
+
+Examples::
+
+    python -m repro.cli run --design rl --benchmark canneal
+    python -m repro.cli compare --benchmark x264 --width 4 --height 4
+    python -m repro.cli sweep --design arq_ecc --pattern transpose
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import DecisionTreePolicy, arq_ecc_policy, crc_policy
+from repro.core.rl_policy import RLControlPolicy
+from repro.sim import (
+    DESIGN_ORDER,
+    Simulator,
+    compare_designs,
+    normalize_to_baseline,
+    scaled_config,
+    synthesize_benchmark_trace,
+)
+from repro.traffic import PARSEC_PROFILES, SyntheticTraffic
+
+__all__ = ["main", "build_parser", "make_policy"]
+
+
+def make_policy(design: str, seed: int = 0):
+    """Instantiate one of the four compared control policies."""
+    factories = {
+        "crc": crc_policy,
+        "arq_ecc": arq_ecc_policy,
+        "dt": DecisionTreePolicy,
+        "rl": lambda: RLControlPolicy(share_table=True, seed=seed),
+    }
+    try:
+        return factories[design]()
+    except KeyError:
+        raise ValueError(
+            f"unknown design {design!r}; pick one of {', '.join(DESIGN_ORDER)}"
+        ) from None
+
+
+def _config_from_args(args) -> "SimulationConfig":
+    return scaled_config(
+        width=args.width,
+        height=args.height,
+        epoch_cycles=args.epoch,
+        pretrain_cycles=args.pretrain,
+        warmup_cycles=args.warmup,
+    )
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=4, help="mesh width (paper: 8)")
+    parser.add_argument("--height", type=int, default=4, help="mesh height (paper: 8)")
+    parser.add_argument("--epoch", type=int, default=250, help="control epoch cycles (paper: 1000)")
+    parser.add_argument("--pretrain", type=int, default=60_000, help="pre-training cycles (paper: 1e6)")
+    parser.add_argument("--warmup", type=int, default=2_000, help="warm-up cycles (paper: 3e5)")
+    parser.add_argument("--trace-cycles", type=int, default=3_000, help="trace injection span")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RL-based fault-tolerant NoC (DATE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one (design, benchmark) measurement")
+    run.add_argument("--design", default="rl", help=f"one of {', '.join(DESIGN_ORDER)}")
+    run.add_argument("--benchmark", default="canneal", help="PARSEC benchmark name")
+    _add_platform_args(run)
+
+    comp = sub.add_parser("compare", help="all four designs on one benchmark")
+    comp.add_argument("--benchmark", default="canneal")
+    _add_platform_args(comp)
+
+    sweep = sub.add_parser("sweep", help="latency vs offered load for one design")
+    sweep.add_argument("--design", default="crc")
+    sweep.add_argument("--pattern", default="uniform", help="synthetic traffic pattern")
+    sweep.add_argument(
+        "--rates",
+        default="0.005,0.01,0.02,0.03,0.04",
+        help="comma-separated packet injection rates",
+    )
+    sweep.add_argument("--span", type=int, default=3_000, help="injection cycles per point")
+    _add_platform_args(sweep)
+
+    return parser
+
+
+def _check_benchmark(name: str) -> None:
+    if name not in PARSEC_PROFILES:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; pick one of {', '.join(sorted(PARSEC_PROFILES))}"
+        )
+
+
+def cmd_run(args) -> int:
+    _check_benchmark(args.benchmark)
+    config = _config_from_args(args)
+    policy = make_policy(args.design, args.seed)
+    sim = Simulator(config, policy, seed=args.seed)
+    if policy.trainable:
+        print(f"pre-training {args.design} ...", file=sys.stderr)
+        sim.pretrain()
+    policy.freeze()
+    sim.warmup()
+    trace = synthesize_benchmark_trace(args.benchmark, config, args.trace_cycles, args.seed)
+    result = sim.measure_trace(trace, args.benchmark)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        for key, value in result.as_dict().items():
+            print(f"{key:26s} {value}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    _check_benchmark(args.benchmark)
+    config = _config_from_args(args)
+    trace = synthesize_benchmark_trace(args.benchmark, config, args.trace_cycles, args.seed)
+    print(f"running 4 designs on {args.benchmark} ...", file=sys.stderr)
+    results = compare_designs(trace, config, benchmark=args.benchmark, seed=args.seed)
+    if args.json:
+        print(json.dumps({d: r.as_dict() for d, r in results.items()}, indent=2))
+        return 0
+    metrics = [
+        ("latency", lambda r: r.mean_latency),
+        ("retransmissions", lambda r: r.retransmission_events + 1),
+        ("energy efficiency", lambda r: r.energy_efficiency),
+        ("dynamic power", lambda r: r.dynamic_power_watts),
+        ("execution time", lambda r: r.execution_cycles),
+    ]
+    print(f"{'metric (vs CRC)':20s}" + "".join(f"{d:>10s}" for d in DESIGN_ORDER))
+    for name, metric in metrics:
+        normalized = normalize_to_baseline(results, metric)
+        print(f"{name:20s}" + "".join(f"{normalized[d]:>10.2f}" for d in DESIGN_ORDER))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = _config_from_args(args)
+    rates = [float(r) for r in args.rates.split(",") if r]
+    policy = make_policy(args.design, args.seed)
+    rows = []
+    for rate in rates:
+        sim = Simulator(config, make_policy(args.design, args.seed), seed=args.seed)
+        if sim.policy.trainable:
+            sim.pretrain()
+        sim.policy.freeze()
+        source = SyntheticTraffic(
+            sim.network.topology,
+            pattern=args.pattern,
+            injection_rate=rate,
+            packet_size=config.packet_size,
+            flit_bits=config.flit_bits,
+            rng=random.Random(args.seed + 9),
+        )
+        sim.run_cycles(source, args.span, learn=True)
+
+        class _Silence:
+            """Stops offering packets so the network can drain."""
+
+            @staticmethod
+            def packets_for_cycle(_now):
+                return []
+
+        try:
+            sim.run_until_drained(_Silence(), lambda: True, learn=True)
+            stats = sim.network.stats
+            rows.append((rate, stats.mean_latency, stats.throughput, False))
+        except RuntimeError:
+            rows.append((rate, float("inf"), 0.0, True))
+    if args.json:
+        print(json.dumps([
+            {"rate": r, "latency": lat, "throughput": thr, "saturated": sat}
+            for r, lat, thr, sat in rows
+        ], indent=2))
+        return 0
+    print(f"{'rate':>8s} {'latency':>10s} {'throughput':>11s}")
+    for rate, latency, throughput, saturated in rows:
+        marker = "  (saturated)" if saturated else ""
+        print(f"{rate:>8.3f} {latency:>10.1f} {throughput:>11.3f}{marker}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "compare": cmd_compare, "sweep": cmd_sweep}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the proactive fault-tolerant scheme
+(four operation modes) and its RL-based per-router control policy."""
+
+from repro.core.controller import ControlPolicy, compute_reward
+from repro.core.modes import MODE_BEHAVIOUR, ModeBehaviour, OperationMode
+from repro.core.qlearning import QLearningAgent
+from repro.core.rl_policy import RLControlPolicy
+from repro.core.state import DiscretizationConfig, RouterObservation, observe_router
+
+__all__ = [
+    "ControlPolicy",
+    "compute_reward",
+    "MODE_BEHAVIOUR",
+    "ModeBehaviour",
+    "OperationMode",
+    "QLearningAgent",
+    "RLControlPolicy",
+    "DiscretizationConfig",
+    "RouterObservation",
+    "observe_router",
+]

@@ -1,0 +1,81 @@
+"""Fault-tolerant control policy interface.
+
+Every compared design — static CRC, static ARQ+ECC, the decision-tree
+predictor, and the proposed RL controller — implements this small
+protocol.  The simulator drives it once per control epoch for every
+router:
+
+1. :meth:`learn` delivers the transition the router just experienced
+   (previous observation, the mode that was active, the reward defined
+   by paper equation 3, and the fresh observation);
+2. :meth:`select` asks for the mode to apply for the next epoch.
+
+Static policies ignore :meth:`learn`; the DT baseline uses it only
+during its pre-training phase (after which its model is frozen,
+Section V-B); the RL policy applies the temporal-difference rule on
+every call, which is what makes it adapt online.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.modes import OperationMode
+from repro.core.state import RouterObservation
+from repro.power.orion import DesignPowerProfile
+
+__all__ = ["ControlPolicy", "compute_reward"]
+
+
+def compute_reward(mean_latency_cycles: float, power_watts: float) -> float:
+    """Paper equation 3: ``r = [E2E_latency(i) * Power(i)]^-1``.
+
+    Latency is the average end-to-end latency of packets that traversed
+    the router during the epoch; power is the router's average total
+    (static + dynamic) power over the same epoch.  Both are floored to
+    keep the reward finite on idle epochs.
+    """
+    latency = max(mean_latency_cycles, 1.0)
+    power = max(power_watts, 1e-6)
+    return 1.0 / (latency * power)
+
+
+class ControlPolicy(abc.ABC):
+    """Per-design mode-selection policy."""
+
+    #: power/area profile of the router design this policy runs on
+    profile: DesignPowerProfile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def trainable(self) -> bool:
+        """Whether the policy has a learning phase at all."""
+        return False
+
+    def reset(self, num_routers: int) -> None:
+        """Prepare per-router state before a simulation run."""
+
+    @abc.abstractmethod
+    def select(self, router_id: int, observation: RouterObservation) -> OperationMode:
+        """Mode to apply to ``router_id`` for the next epoch."""
+
+    def learn(
+        self,
+        router_id: int,
+        observation: RouterObservation,
+        action: OperationMode,
+        reward: float,
+        next_observation: RouterObservation,
+    ) -> None:
+        """Consume one transition; no-op for non-learning policies."""
+
+    def freeze(self) -> None:
+        """End of pre-training: stop exploring / stop updating models.
+
+        The DT baseline freezes its trained tree here (its training
+        result "is no longer updated during testing", Section V-B);
+        the RL policy keeps learning, exactly as the paper describes.
+        """

@@ -1,0 +1,116 @@
+"""Tabular Q-learning (Section IV-A).
+
+The paper uses the classic tabular algorithm [Sutton & Barto]: a
+state-action mapping table per router, updated with the temporal-
+difference rule
+
+    Q(s, a) <- (1 - alpha) Q(s, a) + alpha [r + gamma max_a' Q(s', a')]
+
+with alpha = 0.1, gamma = 0.5, epsilon-greedy exploration at
+epsilon = 0.1, and Q initialized to zero (Section IV-C).  The table is a
+dictionary keyed by the discretized state tuple, so only visited states
+occupy memory — the hardware analogue is the per-router SRAM Q-table
+whose area the paper budgets at 2360 um^2 together with the update ALU.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["QLearningAgent"]
+
+State = Hashable
+
+
+class QLearningAgent:
+    """One tabular Q-learning agent over a fixed discrete action set."""
+
+    def __init__(
+        self,
+        num_actions: int,
+        alpha: float = 0.1,
+        gamma: float = 0.5,
+        epsilon: float = 0.1,
+        q_init: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if num_actions <= 0:
+            raise ValueError("need at least one action")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.num_actions = num_actions
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.q_init = q_init
+        self.rng = rng if rng is not None else random.Random(0)
+        self._table: Dict[State, List[float]] = {}
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    def _row(self, state: State) -> List[float]:
+        row = self._table.get(state)
+        if row is None:
+            row = [self.q_init] * self.num_actions
+            self._table[state] = row
+        return row
+
+    def q_values(self, state: State) -> Tuple[float, ...]:
+        """Current Q-values of a state (zeros if unvisited)."""
+        return tuple(self._table.get(state, [self.q_init] * self.num_actions))
+
+    def best_action(self, state: State) -> int:
+        """Greedy action; exact ties are broken uniformly at random so a
+        fresh state does not systematically favour action 0."""
+        row = self._table.get(state)
+        if row is None:
+            return self.rng.randrange(self.num_actions)
+        best = max(row)
+        winners = [a for a, q in enumerate(row) if q == best]
+        if len(winners) == 1:
+            return winners[0]
+        return winners[self.rng.randrange(len(winners))]
+
+    def select_action(self, state: State) -> int:
+        """Epsilon-greedy action selection."""
+        if self.epsilon > 0.0 and self.rng.random() < self.epsilon:
+            return self.rng.randrange(self.num_actions)
+        return self.best_action(state)
+
+    def update(self, state: State, action: int, reward: float, next_state: State) -> None:
+        """Apply the temporal-difference rule (paper equation 2)."""
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action {action} outside the action space")
+        row = self._row(state)
+        bootstrap = max(self._row(next_state))
+        row[action] = (1.0 - self.alpha) * row[action] + self.alpha * (
+            reward + self.gamma * bootstrap
+        )
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def states_visited(self) -> int:
+        return len(self._table)
+
+    def greedy_policy(self) -> Dict[State, int]:
+        """Snapshot of the current greedy policy over visited states."""
+        return {state: self.best_action(state) for state in self._table}
+
+    def set_epsilon(self, epsilon: float) -> None:
+        """Adjust exploration (e.g. anneal to 0 after pre-training)."""
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+
+    def set_alpha(self, alpha: float) -> None:
+        """Adjust the learning rate (the paper notes alpha may be reduced
+        over time to aid convergence)."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha

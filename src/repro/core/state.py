@@ -1,0 +1,175 @@
+"""RL state space: Table I features and their discretization.
+
+Each router observes six classes of NoC attributes (Table I):
+
+1. input buffer utilization — occupied input VCs, per port;
+2. input link utilization — input flits/cycle, per port;
+3. output link utilization — output flits/cycle, per port;
+4. input NACK rate — NACKs received / flits sent, per port;
+5. output NACK rate — NACKs sent / flits received, per port;
+6. local router temperature.
+
+Continuous features are discretized exactly as Section IV-B prescribes:
+features 1-3 and 6 into five bins, features 4-5 into four; utilization
+bins are equal in linear space against the observed 0.3 flits/cycle
+maximum, NACK-rate bins are equal in log space, and temperature bins
+cover the observed [50, 100] C range evenly.
+
+Two encodings are offered:
+
+* ``full`` — the paper's literal state: one bin per feature per port
+  (26 dimensions), faithful but slow to explore in scaled-down runs;
+* ``compact`` — per-feature aggregates across ports (6 dimensions),
+  which preserves the decision-relevant signal (error level, load,
+  temperature) and is the default for the shortened benchmark runs.
+  DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.noc.router import Router
+
+__all__ = ["DiscretizationConfig", "RouterObservation", "observe_router"]
+
+#: Number of router ports (LOCAL + 4 directions).
+_NUM_PORTS = 5
+
+
+@dataclass(frozen=True)
+class DiscretizationConfig:
+    """Bin boundaries of the Table I feature space."""
+
+    #: maximum link utilization observed in the paper's benchmarks
+    max_link_utilization: float = 0.3
+    #: linear bins for features 1-3 and 6
+    utilization_bins: int = 5
+    #: log-space thresholds for NACK rates (4 bins: below first = 0 ...)
+    nack_thresholds: Tuple[float, float, float] = (1e-3, 1e-2, 1e-1)
+    temperature_range: Tuple[float, float] = (50.0, 100.0)
+    temperature_bins: int = 5
+    #: VCs per port, for the buffer-utilization bin ceiling
+    num_vcs: int = 4
+
+    def utilization_bin(self, value: float) -> int:
+        """Linear-space bin of a link utilization (flits/cycle)."""
+        if value <= 0.0:
+            return 0
+        fraction = min(value / self.max_link_utilization, 1.0)
+        return min(int(fraction * self.utilization_bins), self.utilization_bins - 1)
+
+    def buffer_bin(self, occupied_vcs: int) -> int:
+        """Bin of an occupied-VC count (already near-discrete)."""
+        if occupied_vcs <= 0:
+            return 0
+        scaled = occupied_vcs * (self.utilization_bins - 1) / self.num_vcs
+        return min(int(math.ceil(scaled)), self.utilization_bins - 1)
+
+    def nack_bin(self, rate: float) -> int:
+        """Log-space bin of a NACK rate in [0, 1]."""
+        for i, threshold in enumerate(self.nack_thresholds):
+            if rate < threshold:
+                return i
+        return len(self.nack_thresholds)
+
+    def temperature_bin(self, temperature: float) -> int:
+        lo, hi = self.temperature_range
+        if temperature <= lo:
+            return 0
+        fraction = min((temperature - lo) / (hi - lo), 1.0)
+        return min(int(fraction * self.temperature_bins), self.temperature_bins - 1)
+
+
+@dataclass
+class RouterObservation:
+    """One router's view of the NoC at an epoch boundary.
+
+    Carries both the raw continuous features (used by the decision-tree
+    baseline, which regresses on them) and the discretized state tuple
+    (used as the Q-table key by the RL policy).
+    """
+
+    router_id: int
+    occupied_vcs: List[int]
+    input_utilization: List[float]
+    output_utilization: List[float]
+    input_nack_rate: List[float]
+    output_nack_rate: List[float]
+    temperature: float
+    #: discretized Q-table key, filled by :func:`observe_router`
+    discrete: Tuple[int, ...] = field(default_factory=tuple)
+    #: ground-truth mean timing-error probability of this router's output
+    #: channels, attached by the simulator for supervised baselines
+    true_error_probability: float = 0.0
+
+    def raw_vector(self) -> List[float]:
+        """The 26-dimensional continuous feature vector (Table I order)."""
+        return (
+            [float(v) for v in self.occupied_vcs]
+            + list(self.input_utilization)
+            + list(self.output_utilization)
+            + list(self.input_nack_rate)
+            + list(self.output_nack_rate)
+            + [self.temperature]
+        )
+
+
+def observe_router(
+    router: Router,
+    epoch_cycles: int,
+    config: Optional[DiscretizationConfig] = None,
+    compact: bool = True,
+    include_mode: bool = True,
+) -> RouterObservation:
+    """Build one router's observation from its epoch counters.
+
+    ``compact`` selects the aggregated 6-dimensional discrete encoding
+    (benchmark default); ``compact=False`` produces the paper's literal
+    26-dimensional per-port state.
+
+    ``include_mode`` appends the router's *current* operation mode to the
+    discrete state.  Table I does not list it, but without it the state
+    is non-Markov: "no NACKs at high temperature" is indistinguishable
+    between a mode-3 router (protected and genuinely quiet) and a mode-0
+    router (unprotected, errors simply invisible until the destination
+    CRC fires), which systematically mis-values actions.  The hardware
+    knows its own mode for free; the ablation bench quantifies the
+    effect of turning this off.
+    """
+    if epoch_cycles <= 0:
+        raise ValueError("epoch must span at least one cycle")
+    cfg = config if config is not None else DiscretizationConfig(num_vcs=router.num_vcs)
+    epoch = router.epoch
+    obs = RouterObservation(
+        router_id=router.id,
+        occupied_vcs=router.occupied_input_vcs(),
+        input_utilization=epoch.input_link_utilization(epoch_cycles),
+        output_utilization=epoch.output_link_utilization(epoch_cycles),
+        input_nack_rate=epoch.input_nack_rate(),
+        output_nack_rate=epoch.output_nack_rate(),
+        temperature=router.temperature,
+    )
+    if compact:
+        bins = [
+            cfg.buffer_bin(max(obs.occupied_vcs)),
+            cfg.utilization_bin(sum(obs.input_utilization) / _NUM_PORTS),
+            cfg.utilization_bin(sum(obs.output_utilization) / _NUM_PORTS),
+            cfg.nack_bin(max(obs.input_nack_rate)),
+            cfg.nack_bin(max(obs.output_nack_rate)),
+            cfg.temperature_bin(obs.temperature),
+        ]
+    else:
+        bins = []
+        bins.extend(cfg.buffer_bin(v) for v in obs.occupied_vcs)
+        bins.extend(cfg.utilization_bin(u) for u in obs.input_utilization)
+        bins.extend(cfg.utilization_bin(u) for u in obs.output_utilization)
+        bins.extend(cfg.nack_bin(r) for r in obs.input_nack_rate)
+        bins.extend(cfg.nack_bin(r) for r in obs.output_nack_rate)
+        bins.append(cfg.temperature_bin(obs.temperature))
+    if include_mode:
+        bins.append(int(router.mode))
+    obs.discrete = tuple(bins)
+    return obs

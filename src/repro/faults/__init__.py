@@ -1,0 +1,18 @@
+"""Fault substrate: process variation, thermal model, runtime injection.
+
+Stand-ins for the paper's VARIUS (timing-error probability), HotSpot
+(power -> temperature), and the Booksim error-injection modifications —
+wired into the control loop by :mod:`repro.sim.simulator`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.thermal import ThermalGrid
+from repro.faults.varius import VariusModel, VariusParams, gaussian_tail
+
+__all__ = [
+    "FaultInjector",
+    "ThermalGrid",
+    "VariusModel",
+    "VariusParams",
+    "gaussian_tail",
+]

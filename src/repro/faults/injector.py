@@ -1,0 +1,83 @@
+"""Runtime fault injection: binds VARIUS + thermal state to the channels.
+
+Each control epoch, the simulator hands the injector the fresh per-router
+temperature vector; the injector recomputes every channel's timing-error
+event probability (from the *upstream* router's conditions — the channel
+is driven by the sender's output stage, Section III's "channel i") and the
+mode-3 relaxation factor, then writes them into the channel error models
+where the NoC samples them at flit-delivery time.
+
+``error_scale`` is an explicit knob for scaled-down experiments: it
+multiplies every event probability so short runs accumulate enough error
+events for stable statistics.  Benches document the value they use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.faults.varius import VariusModel
+from repro.noc.network import Network
+
+__all__ = ["FaultInjector"]
+
+#: Extra cycles of timing slack granted by mode 3 (matches the two
+#: pre-transmission stall cycles of Section III).
+RELAX_CYCLES = 2
+
+
+class FaultInjector:
+    """Keeps channel error models in sync with die conditions."""
+
+    def __init__(
+        self,
+        network: Network,
+        varius: VariusModel,
+        voltage: Optional[float] = None,
+        error_scale: float = 1.0,
+    ) -> None:
+        if error_scale < 0:
+            raise ValueError("error_scale cannot be negative")
+        if varius.width * varius.height != network.topology.num_nodes:
+            raise ValueError("variation grid does not match the topology")
+        self.network = network
+        self.varius = varius
+        self.voltage = voltage
+        self.error_scale = error_scale
+        #: last probabilities applied, keyed like network.channels
+        self.current: Dict[Tuple[int, int], float] = {}
+
+    def refresh(self, temperatures: Sequence[float]) -> None:
+        """Recompute per-channel error probabilities for the next epoch."""
+        if len(temperatures) != self.network.topology.num_nodes:
+            raise ValueError("one temperature per router required")
+        cache: Dict[int, Tuple[float, float]] = {}
+        for (src, _port), model in self.network.channel_models():
+            if src not in cache:
+                p = self.varius.timing_error_probability(
+                    src, temperatures[src], self.voltage
+                )
+                p_relaxed = self.varius.timing_error_probability(
+                    src, temperatures[src], self.voltage, relax_cycles=RELAX_CYCLES
+                )
+                cache[src] = (p, p_relaxed)
+            p, p_relaxed = cache[src]
+            scaled = min(1.0, p * self.error_scale)
+            model.event_probability = scaled
+            model.relax_factor = (p_relaxed / p) if p > 0.0 else 0.0
+            self.current[(src, _port)] = scaled
+
+    def set_uniform(self, probability: float, relax_factor: float = 0.0) -> None:
+        """Bypass the physical models with a flat probability (testing)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        for key, model in self.network.channel_models():
+            model.event_probability = probability
+            model.relax_factor = relax_factor
+            self.current[key] = probability
+
+    def mean_probability(self) -> float:
+        """Average per-transfer error probability across all channels."""
+        if not self.current:
+            return 0.0
+        return sum(self.current.values()) / len(self.current)

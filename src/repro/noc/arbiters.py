@@ -1,0 +1,99 @@
+"""Arbiters for virtual-channel and switch allocation.
+
+The router uses separable allocation (standard for 4-stage VC routers):
+
+* **VA** — packets whose head finished route computation request a free
+  VC at their output port; a per-output round-robin arbiter grants one
+  requester per free VC.
+* **SA** — active VCs with a buffered flit and a downstream credit request
+  their output port; a per-output round-robin arbiter grants one per port
+  per cycle.
+
+Round-robin is implemented exactly as the rotating-priority hardware:
+the grant pointer advances past the winner so every requester is served
+within N rounds (no starvation) — a property test pins this down.
+A matrix (least-recently-served) arbiter is included as an alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, TypeVar
+
+__all__ = ["RoundRobinArbiter", "MatrixArbiter"]
+
+R = TypeVar("R", bound=Hashable)
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter over ``size`` request lines."""
+
+    __slots__ = ("size", "_pointer")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("arbiter needs at least one input")
+        self.size = size
+        self._pointer = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Grant one of the asserted request lines, or None.
+
+        The search starts at the line after the previous winner, giving
+        each line a fair turn.
+        """
+        if len(requests) != self.size:
+            raise ValueError(f"expected {self.size} request lines")
+        for offset in range(self.size):
+            line = (self._pointer + offset) % self.size
+            if requests[line]:
+                self._pointer = (line + 1) % self.size
+                return line
+        return None
+
+    def reset(self) -> None:
+        self._pointer = 0
+
+
+class MatrixArbiter:
+    """Least-recently-served arbiter.
+
+    Keeps a priority matrix ``w[i][j] = 1`` meaning *i beats j*; the winner
+    clears its row and sets its column, becoming lowest priority.  Slightly
+    fairer than round-robin under asymmetric request patterns; offered as
+    the alternative arbiter for the ablation bench.
+    """
+
+    __slots__ = ("size", "_beats")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("arbiter needs at least one input")
+        self.size = size
+        # Upper triangle set: initial priority order 0 > 1 > ... > n-1.
+        self._beats: List[List[bool]] = [
+            [i < j for j in range(size)] for i in range(size)
+        ]
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        if len(requests) != self.size:
+            raise ValueError(f"expected {self.size} request lines")
+        winner = None
+        for i in range(self.size):
+            if not requests[i]:
+                continue
+            if all(
+                not (requests[j] and self._beats[j][i])
+                for j in range(self.size)
+                if j != i
+            ):
+                winner = i
+                break
+        if winner is not None:
+            for j in range(self.size):
+                if j != winner:
+                    self._beats[winner][j] = False
+                    self._beats[j][winner] = True
+        return winner
+
+    def reset(self) -> None:
+        self._beats = [[i < j for j in range(self.size)] for i in range(self.size)]

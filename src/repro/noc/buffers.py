@@ -1,0 +1,180 @@
+"""Virtual-channel input buffers and output staging buffers.
+
+Each router input port owns ``num_vcs`` virtual channels, each a FIFO of
+``depth`` flits (Table II: 4 VCs per port).  A VC also carries the
+per-packet routing state machine used by the four-stage pipeline:
+
+``IDLE -> ROUTING -> WAITING_VC -> ACTIVE -> IDLE``
+
+The proposed router additionally has *output flit buffers* (Fig. 2) that
+hold copies for ARQ retransmission and the mode-2 pre-retransmission
+duplicates; those are :class:`repro.coding.RetransmissionBuffer` plus the
+small :class:`OutputQueue` staging FIFO defined here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.noc.packet import Flit
+from repro.noc.topology import Port
+
+__all__ = ["VCState", "VirtualChannel", "InputPort", "OutputQueue"]
+
+
+class VCState(enum.Enum):
+    """Pipeline state of the packet occupying a virtual channel."""
+
+    IDLE = "idle"
+    #: head flit buffered, awaiting route computation (RC stage)
+    ROUTING = "routing"
+    #: route known, awaiting a downstream VC grant (VA stage)
+    WAITING_VC = "waiting_vc"
+    #: downstream VC allocated; flits compete in switch allocation (SA)
+    ACTIVE = "active"
+
+
+class VirtualChannel:
+    """One FIFO lane of an input port with its pipeline state."""
+
+    __slots__ = (
+        "port",
+        "vc_id",
+        "depth",
+        "fifo",
+        "state",
+        "out_port",
+        "out_vc",
+        "stage_ready_cycle",
+    )
+
+    def __init__(self, port: Port, vc_id: int, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError("VC depth must be positive")
+        self.port = port
+        self.vc_id = vc_id
+        self.depth = depth
+        self.fifo: Deque[Flit] = deque()
+        self.state = VCState.IDLE
+        self.out_port: Optional[Port] = None
+        self.out_vc: Optional[int] = None
+        #: earliest cycle the *next* pipeline stage may act on this VC —
+        #: enforces the one-stage-per-cycle timing of the 4-stage router.
+        self.stage_ready_cycle = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.fifo) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.fifo
+
+    @property
+    def front(self) -> Optional[Flit]:
+        return self.fifo[0] if self.fifo else None
+
+    def push(self, flit: Flit) -> None:
+        """Buffer write (BW stage).  Overflow is a flow-control bug."""
+        if self.is_full:
+            raise OverflowError(
+                f"VC overflow at port {self.port.name} vc {self.vc_id}: "
+                "credit protocol violated"
+            )
+        flit.vc = self.vc_id
+        self.fifo.append(flit)
+
+    def pop(self) -> Flit:
+        """Buffer read as the flit wins switch allocation."""
+        if not self.fifo:
+            raise IndexError("pop from empty VC")
+        return self.fifo.popleft()
+
+    def release(self) -> None:
+        """Return to IDLE after the tail flit departs."""
+        self.state = VCState.IDLE
+        self.out_port = None
+        self.out_vc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VC({self.port.name}.{self.vc_id}, {self.state.value}, "
+            f"{len(self.fifo)}/{self.depth})"
+        )
+
+
+class InputPort:
+    """All virtual channels of one router input port."""
+
+    __slots__ = ("port", "vcs")
+
+    def __init__(self, port: Port, num_vcs: int, depth: int) -> None:
+        if num_vcs <= 0:
+            raise ValueError("need at least one VC")
+        self.port = port
+        self.vcs: List[VirtualChannel] = [
+            VirtualChannel(port, v, depth) for v in range(num_vcs)
+        ]
+
+    @property
+    def occupied_vcs(self) -> int:
+        """Number of VCs currently holding a packet (Table I feature 1)."""
+        return sum(1 for vc in self.vcs if vc.state is not VCState.IDLE or vc.fifo)
+
+    @property
+    def buffered_flits(self) -> int:
+        return sum(len(vc.fifo) for vc in self.vcs)
+
+    def free_vc_for_head(self) -> Optional[VirtualChannel]:
+        """An idle, empty VC that can accept a new packet's head flit."""
+        for vc in self.vcs:
+            if vc.state is VCState.IDLE and vc.is_empty:
+                return vc
+        return None
+
+
+class OutputQueue:
+    """Small staging FIFO in front of an output link.
+
+    Holds flits that won switch allocation while the link is busy with a
+    retransmission, a mode-2 duplicate, or a mode-3 stall; drained at one
+    flit per free link slot.  This models the "output buffer" block the
+    proposed router adds in Fig. 2.
+    """
+
+    __slots__ = ("depth", "fifo")
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError("output queue depth must be positive")
+        self.depth = depth
+        self.fifo: Deque[object] = deque()
+
+    def __len__(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.fifo) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.fifo
+
+    def push(self, item: object) -> None:
+        if self.is_full:
+            raise OverflowError("output queue overflow")
+        self.fifo.append(item)
+
+    def front(self) -> object:
+        return self.fifo[0]
+
+    def pop(self) -> object:
+        return self.fifo.popleft()

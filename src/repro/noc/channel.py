@@ -1,0 +1,190 @@
+"""Inter-router channels: data wires plus sideband ACK/credit wires.
+
+A :class:`Channel` is the directed link the paper calls "channel i"
+(Section III).  It carries:
+
+* data transmissions (flits, possibly ECC-protected, possibly mode-2
+  duplicates), delivered after ``latency`` cycles;
+* the sideband acknowledgement wire back to the sender (ACK/NACK flits of
+  the ARQ protocol, Fig. 1(c));
+* the credit-return wire of the VC flow control.
+
+Error injection happens at *delivery* time through the channel's
+:attr:`error_model`, which the fault substrate refreshes every control
+epoch with the current temperature-dependent probabilities
+(:mod:`repro.faults.varius`).  The channel itself is agnostic about where
+those probabilities come from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.coding.arq import AckMessage
+from repro.noc.packet import Flit
+from repro.noc.topology import ChannelSpec
+
+__all__ = ["Transmission", "ChannelErrorModel", "Channel"]
+
+
+class Transmission:
+    """One flit in flight on a channel."""
+
+    __slots__ = (
+        "flit",
+        "seq",
+        "vc",
+        "protected",
+        "relaxed",
+        "duplicate",
+        "paired",
+        "arrive_at",
+    )
+
+    def __init__(
+        self,
+        flit: Flit,
+        seq: Optional[int],
+        vc: int,
+        protected: bool,
+        relaxed: bool,
+        duplicate: bool,
+        arrive_at: int,
+        paired: bool = False,
+    ) -> None:
+        self.flit = flit
+        #: ARQ sequence number (None on unprotected channels)
+        self.seq = seq
+        #: downstream input VC the flit was allocated to
+        self.vc = vc
+        #: whether the -Link (ECC encoder/decoder pair) is enabled
+        self.protected = protected
+        #: whether mode-3 timing relaxation applies to this transfer
+        self.relaxed = relaxed
+        #: whether this is a mode-2 pre-retransmission copy
+        self.duplicate = duplicate
+        #: whether a pre-retransmission copy follows this transmission.
+        #: Duplicates carry no credit of their own, so the credit-refund
+        #: rules differ for each member of the pair (see Router).
+        self.paired = paired
+        self.arrive_at = arrive_at
+
+
+class ChannelErrorModel:
+    """Per-channel timing-error sampler.
+
+    ``event_probability`` is the chance a flit transfer suffers a timing
+    error event; ``severity`` gives the distribution of the number of bit
+    errors per event ``(P[1 bit], P[2 bits], P[3+ bits])``.  Mode-3
+    relaxed transfers scale the event probability by ``relax_factor``
+    (near zero — the paper says timing relaxation brings the error
+    probability "near to zero").
+    """
+
+    __slots__ = ("event_probability", "severity", "relax_factor", "_rng", "_bits")
+
+    def __init__(
+        self,
+        rng,
+        flit_bits: int,
+        event_probability: float = 0.0,
+        severity: Tuple[float, float, float] = (0.33, 0.47, 0.20),
+        relax_factor: float = 1e-4,
+    ) -> None:
+        if not 0.0 <= event_probability <= 1.0:
+            raise ValueError("event probability must be in [0, 1]")
+        if abs(sum(severity) - 1.0) > 1e-9 or any(s < 0 for s in severity):
+            raise ValueError("severity must be a probability distribution")
+        self.event_probability = event_probability
+        self.severity = severity
+        self.relax_factor = relax_factor
+        self._rng = rng
+        self._bits = flit_bits
+
+    def sample_error_bits(self, relaxed: bool) -> int:
+        """Number of bit errors for one flit transfer (0 = clean)."""
+        p = self.event_probability * (self.relax_factor if relaxed else 1.0)
+        if p <= 0.0 or self._rng.random() >= p:
+            return 0
+        roll = self._rng.random()
+        if roll < self.severity[0]:
+            return 1
+        if roll < self.severity[0] + self.severity[1]:
+            return 2
+        return 3
+
+    def sample_mask(self, n_errors: int) -> int:
+        """Random XOR mask with ``n_errors`` distinct flipped bits."""
+        mask = 0
+        while bin(mask).count("1") < n_errors:
+            mask |= 1 << self._rng.randrange(self._bits)
+        return mask
+
+
+class Channel:
+    """A directed inter-router channel with its sideband wires."""
+
+    __slots__ = (
+        "spec",
+        "latency",
+        "error_model",
+        "_data",
+        "_acks",
+        "_credits",
+    )
+
+    def __init__(self, spec: ChannelSpec, latency: int, error_model: ChannelErrorModel) -> None:
+        if latency < 1:
+            raise ValueError("channel latency must be at least one cycle")
+        self.spec = spec
+        self.latency = latency
+        self.error_model = error_model
+        self._data: List[Transmission] = []
+        #: (deliver_cycle, AckMessage) back toward the sender
+        self._acks: List[Tuple[int, AckMessage]] = []
+        #: (deliver_cycle, vc) credit returns toward the sender
+        self._credits: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """Whether anything (data or sideband) is in flight."""
+        return bool(self._data or self._acks or self._credits)
+
+    def send(self, transmission: Transmission) -> None:
+        self._data.append(transmission)
+
+    def send_ack(self, message: AckMessage, deliver_at: int) -> None:
+        self._acks.append((deliver_at, message))
+
+    def send_credit(self, vc: int, deliver_at: int) -> None:
+        self._credits.append((deliver_at, vc))
+
+    # ------------------------------------------------------------------
+    def pop_arrivals(self, now: int) -> List[Transmission]:
+        """Remove and return data transmissions due at ``now``."""
+        if not self._data:
+            return []
+        due = [t for t in self._data if t.arrive_at <= now]
+        if due:
+            self._data = [t for t in self._data if t.arrive_at > now]
+            due.sort(key=lambda t: t.arrive_at)
+        return due
+
+    def pop_acks(self, now: int) -> List[AckMessage]:
+        """Remove and return sideband ACK/NACKs due at ``now``."""
+        if not self._acks:
+            return []
+        due = [m for t, m in self._acks if t <= now]
+        if due:
+            self._acks = [(t, m) for t, m in self._acks if t > now]
+        return due
+
+    def pop_credits(self, now: int) -> List[int]:
+        """Remove and return credit returns due at ``now``."""
+        if not self._credits:
+            return []
+        due = [vc for t, vc in self._credits if t <= now]
+        if due:
+            self._credits = [(t, vc) for t, vc in self._credits if t > now]
+        return due

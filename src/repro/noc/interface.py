@@ -1,0 +1,205 @@
+"""Network interfaces (NIs): packetization, CRC, source retransmission.
+
+Every core attaches to its router through an NI.  Following the paper's
+baseline protection (Section II, Fig. 1(b)):
+
+* the **source NI** CRC-encodes each packet, keeps a copy of every
+  in-flight message, and re-injects a fresh copy when the destination
+  requests a retransmission;
+* the **destination NI** reassembles flits, checks the CRC over the
+  payload *as received* (accumulated uncorrected bit errors applied), and
+  on a failure sends a retransmission request back to the source — the
+  full-packet, end-to-end recovery that makes the CRC-only design slow
+  and power-hungry under faults, which is exactly the behaviour the
+  proposed RL design tries to avoid.
+
+The retransmission request and the delivery notification travel on a
+modelled sideband whose latency is the hop distance plus a small constant,
+rather than through simulated flits — the standard simplification, since
+these control messages are tiny compared to data packets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.coding.crc import CRC
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import Router
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology
+
+__all__ = ["NetworkInterface"]
+
+#: Fixed component of the sideband retransmission-request latency.
+SIDEBAND_BASE_LATENCY = 4
+
+
+class NetworkInterface:
+    """The NI of one core/router pair."""
+
+    def __init__(
+        self,
+        node_id: int,
+        router: Router,
+        topology: MeshTopology,
+        crc: CRC,
+        stats: NetworkStats,
+    ) -> None:
+        self.id = node_id
+        self.router = router
+        self.topology = topology
+        self.crc = crc
+        self.stats = stats
+        router.ejection_sink = self._eject
+
+        #: messages waiting to start injection (fresh plus retransmitted)
+        self._inject_queue: Deque[Packet] = deque()
+        #: the packet currently streaming flits into the router
+        self._current: Optional[Packet] = None
+        self._current_index = 0
+        self._current_vc: Optional[int] = None
+        #: source-side copies of in-flight messages, by message id
+        self._store: Dict[int, Packet] = {}
+        #: (due_cycle, message_id) retransmission requests received
+        self._retx_due: List[Tuple[int, int]] = []
+        #: flits ejected by the router, pending NI processing
+        self._eject_queue: Deque[Tuple[int, Flit]] = deque()
+        #: per-packet count of ejected flits, for reassembly bookkeeping
+        self._rx_count: Dict[int, int] = {}
+        #: peer lookup installed by the Network (node id -> NI)
+        self.peer: Callable[[int], "NetworkInterface"] = lambda _n: None
+
+    # ------------------------------------------------------------------
+    # Source side
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a new message from the core for injection."""
+        if packet.src != self.id:
+            raise ValueError(f"packet source {packet.src} does not match NI {self.id}")
+        if packet.crc_check is None:
+            packet.crc_check = self.crc.compute(
+                packet.combined_payload(), packet.total_bits
+            )
+            self.router.epoch.crc_ops += packet.size
+        self._store[packet.message_id] = packet
+        self._inject_queue.append(packet)
+
+    def schedule_retransmission(self, message_id: int, due_cycle: int) -> None:
+        """Destination asked for a fresh copy of ``message_id``."""
+        heapq.heappush(self._retx_due, (due_cycle, message_id))
+
+    def release(self, message_id: int) -> None:
+        """Delivery confirmed: drop the stored copy."""
+        self._store.pop(message_id, None)
+
+    @property
+    def outstanding_messages(self) -> int:
+        """Messages accepted but not yet confirmed delivered."""
+        return len(self._store)
+
+    @property
+    def inject_backlog(self) -> int:
+        """Packets queued for injection (including the one in progress)."""
+        return len(self._inject_queue) + (1 if self._current is not None else 0)
+
+    def step_inject(self, now: int) -> None:
+        """Inject at most one flit into the local router port."""
+        while self._retx_due and self._retx_due[0][0] <= now:
+            _, message_id = heapq.heappop(self._retx_due)
+            original = self._store.get(message_id)
+            if original is None:
+                continue  # delivered in the meantime; request was stale
+            clone = original.clone_for_retransmission(now)
+            self._store[message_id] = clone
+            self.router.epoch.crc_ops += clone.size
+            self._inject_queue.appendleft(clone)
+
+        if self._current is None:
+            if not self._inject_queue:
+                return
+            self._current = self._inject_queue.popleft()
+            self._current_index = 0
+            self._current_vc = None
+
+        packet = self._current
+        flit = packet.flits[self._current_index]
+        if flit.is_head and self._current_vc is None:
+            vc = self.router.try_inject_head(flit, now)
+            if vc is None:
+                return  # all local input VCs busy; retry next cycle
+            self._current_vc = vc
+            packet.injected_at = now
+            self.stats.packets_injected += 1
+        else:
+            if not self.router.try_inject_body(flit, self._current_vc):
+                return  # VC full; retry next cycle
+        flit.injected_at = now
+        if packet.retransmission == 0:
+            self.router.epoch.core_activity_flits += 1
+        self._current_index += 1
+        if self._current_index >= packet.size:
+            self._current = None
+            self._current_vc = None
+
+    # ------------------------------------------------------------------
+    # Destination side
+    # ------------------------------------------------------------------
+    def _eject(self, flit: Flit, deliver_at: int) -> None:
+        self._eject_queue.append((deliver_at, flit))
+
+    def step_eject(self, now: int) -> None:
+        """Consume ejected flits; finish packets on their tail flit."""
+        while self._eject_queue and self._eject_queue[0][0] <= now:
+            _, flit = self._eject_queue.popleft()
+            packet = flit.packet
+            self._rx_count[packet.pid] = self._rx_count.get(packet.pid, 0) + 1
+            if not flit.is_tail:
+                continue
+            received = self._rx_count.pop(packet.pid)
+            if received != packet.size:
+                raise RuntimeError(
+                    f"NI {self.id}: packet {packet.pid} ejected {received} "
+                    f"of {packet.size} flits"
+                )
+            self._finish_packet(packet, now)
+
+    def _finish_packet(self, packet: Packet, now: int) -> None:
+        self.router.epoch.crc_ops += packet.size
+        word = packet.combined_payload(received=True)
+        if self.crc.verify(word, packet.total_bits, packet.crc_check):
+            corrupted = any(f.error_mask for f in packet.flits)
+            if corrupted:
+                # An escaped error pattern the CRC cannot see: silent
+                # data corruption, worth tracking separately.
+                self.stats.silent_corruptions += 1
+            latency = now - packet.created_at
+            self.router.epoch.core_activity_flits += packet.size
+            self.stats.packets_delivered += 1
+            self.stats.flits_delivered += packet.size
+            self.stats.latency.record(latency)
+            source = self.peer(packet.src)
+            if source is not None:
+                source.release(packet.message_id)
+            router_lookup = self._router_lookup
+            for router_id in set(packet.path):
+                epoch = router_lookup(router_id).epoch
+                epoch.delivered_latency_total += latency
+                epoch.delivered_packets += 1
+        else:
+            self.stats.crc_failures += 1
+            self.stats.packet_retransmissions += 1
+            source = self.peer(packet.src)
+            delay = (
+                self.topology.hop_distance(packet.src, packet.dest)
+                + SIDEBAND_BASE_LATENCY
+            )
+            source.schedule_retransmission(packet.message_id, now + delay)
+
+    #: router lookup installed by the Network (router id -> Router)
+    _router_lookup: Callable[[int], Router] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetworkInterface({self.id})"

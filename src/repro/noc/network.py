@@ -1,0 +1,191 @@
+"""The network: routers, channels, NIs, and the cycle loop.
+
+:class:`Network` wires a :class:`~repro.noc.topology.MeshTopology` into
+routers and channels, owns the per-cycle event ordering, and aggregates
+statistics.  It is deliberately policy-free: operation modes are set from
+outside (by a controller through :meth:`set_mode`), and channel error
+probabilities are refreshed from outside (by the fault substrate through
+:meth:`channel_models`).  The full closed loop — traffic, faults,
+thermal, power, control — is assembled in :mod:`repro.sim.simulator`.
+
+Cycle ordering (one call to :meth:`cycle`):
+
+1. sideband delivery — credits, then ACK/NACKs, reach the senders;
+2. data delivery — in-flight flits reach receivers (error injection,
+   ECC decode classification, ARQ accept/drop happen here);
+3. NI ejection processing — tail flits complete packets, CRC checks run;
+4. NI injection — one flit per NI into the local port;
+5. router pipelines step (retransmission drain, SA/ST, VA, RC).
+
+This ordering guarantees a flit advances at most one pipeline stage per
+cycle while letting sideband responses generated in step 2 be consumed at
+the earliest one cycle later.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.coding.crc import CRC
+from repro.core.modes import OperationMode
+from repro.noc.channel import Channel, ChannelErrorModel
+from repro.noc.interface import NetworkInterface
+from repro.noc.packet import Packet
+from repro.noc.router import OutputLink, Router
+from repro.noc.routing import RoutingFunction, xy_route
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import MeshTopology, Port
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A complete mesh NoC instance."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        routing_fn: RoutingFunction = xy_route,
+        num_vcs: int = 4,
+        vc_depth: int = 4,
+        flit_bits: int = 128,
+        arq_capacity: int = 8,
+        channel_latency: int = 1,
+        crc: Optional[CRC] = None,
+        rng: Optional[random.Random] = None,
+        error_severity: Tuple[float, float, float] = (0.33, 0.47, 0.20),
+        relax_factor: float = 1e-4,
+    ) -> None:
+        self.topology = topology
+        self.flit_bits = flit_bits
+        self.rng = rng if rng is not None else random.Random(0)
+        self.stats = NetworkStats()
+        self.now = 0
+
+        self.routers: List[Router] = [
+            Router(i, topology, routing_fn, num_vcs, vc_depth, arq_capacity)
+            for i in range(topology.num_nodes)
+        ]
+
+        #: channels keyed by (source router, source port)
+        self.channels: Dict[Tuple[int, int], Channel] = {}
+        for spec in topology.channels():
+            model = ChannelErrorModel(
+                self.rng, flit_bits, 0.0, error_severity, relax_factor
+            )
+            channel = Channel(spec, channel_latency, model)
+            self.channels[(spec.src, spec.src_port)] = channel
+            self.routers[spec.src].outputs[int(spec.src_port)] = OutputLink(
+                spec.src_port, channel, num_vcs, vc_depth, arq_capacity
+            )
+            self.routers[spec.dst].in_channels[int(spec.dst_port)] = channel
+
+        crc = crc if crc is not None else CRC.crc16()
+        self.interfaces: List[NetworkInterface] = [
+            NetworkInterface(i, self.routers[i], topology, crc, self.stats)
+            for i in range(topology.num_nodes)
+        ]
+        for ni in self.interfaces:
+            ni.peer = lambda n: self.interfaces[n]
+            ni._router_lookup = lambda r: self.routers[r]
+
+    # ------------------------------------------------------------------
+    # External control surface
+    # ------------------------------------------------------------------
+    def set_mode(self, router_id: int, mode: OperationMode) -> None:
+        """Request an operation mode for one router's output -Links."""
+        self.routers[router_id].request_mode(mode)
+
+    def set_all_modes(self, mode: OperationMode) -> None:
+        for router in self.routers:
+            router.request_mode(mode)
+
+    def channel_models(self) -> Iterable[Tuple[Tuple[int, int], ChannelErrorModel]]:
+        """(key, error model) pairs for the fault substrate to refresh."""
+        return ((key, ch.error_model) for key, ch in self.channels.items())
+
+    def inject(self, packet: Packet) -> None:
+        """Hand a new message to its source NI."""
+        self.interfaces[packet.src].enqueue(packet)
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+    def cycle(self) -> None:
+        now = self.now
+
+        for (src, src_port), channel in self.channels.items():
+            if channel._credits or channel._acks:
+                sender = self.routers[src]
+                for vc in channel.pop_credits(now):
+                    sender.receive_credit(int(src_port), vc)
+                for message in channel.pop_acks(now):
+                    sender.receive_ack(int(src_port), message)
+
+        for channel in self.channels.values():
+            if channel._data:
+                arrivals = channel.pop_arrivals(now)
+                if arrivals:
+                    self.routers[channel.spec.dst].receive_transmissions(
+                        int(channel.spec.dst_port), arrivals, now
+                    )
+
+        for ni in self.interfaces:
+            ni.step_eject(now)
+        for ni in self.interfaces:
+            ni.step_inject(now)
+
+        for router in self.routers:
+            router.step(now)
+
+        self.now = now + 1
+        self.stats.cycles += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.cycle()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers
+    # ------------------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        """No outstanding messages anywhere (trace fully delivered)."""
+        return all(ni.outstanding_messages == 0 for ni in self.interfaces)
+
+    def harvest_epoch_counters(self, epoch_cycles: int) -> None:
+        """Fold per-router epoch counters into the run statistics and
+        account mode residency.  Called by the simulator at each epoch
+        boundary *after* the controller has consumed the counters."""
+        for router in self.routers:
+            epoch = router.epoch
+            self.stats.flit_retransmissions += epoch.flit_retransmissions
+            self.stats.corrected_errors += epoch.corrected_errors
+            self.stats.escaped_errors += epoch.escaped_errors
+            self.stats.duplicate_flits += epoch.duplicate_flits
+            self.stats.dropped_flits += epoch.dropped_flits
+            self.stats.mode_cycles[int(router.mode)] += epoch_cycles
+
+    def reset_epoch_counters(self) -> None:
+        for router in self.routers:
+            router.epoch.reset()
+
+    def drain(self, max_cycles: int, poll: int = 64) -> int:
+        """Run until every message is delivered; returns cycles spent.
+
+        Raises ``RuntimeError`` if the network fails to drain within
+        ``max_cycles`` — which in a correct configuration indicates a
+        protocol bug, so it is loud by design.
+        """
+        start = self.now
+        while not self.quiescent:
+            if self.now - start >= max_cycles:
+                outstanding = sum(ni.outstanding_messages for ni in self.interfaces)
+                raise RuntimeError(
+                    f"network failed to drain: {outstanding} messages "
+                    f"outstanding after {max_cycles} cycles"
+                )
+            for _ in range(poll):
+                self.cycle()
+        return self.now - start

@@ -1,0 +1,252 @@
+"""Packets and flits.
+
+Data in the NoC travels as packets segmented into flits (Section II of the
+paper).  The paper's configuration (Table II) uses 128-bit flits and
+4-flit packets; both are configurable here.
+
+Payloads are plain integers interpreted as bit-vectors, which lets the
+fault injector flip bits with XOR masks and lets the real CRC/SECDED codes
+from :mod:`repro.coding` operate on them directly.  Each flit accumulates
+an ``error_mask`` of the bit errors that have survived link-level
+protection; the destination network interface checks the CRC over
+``payload ^ error_mask`` exactly as the hardware would see it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+__all__ = ["FlitType", "Flit", "Packet"]
+
+
+class FlitType(enum.Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: single-flit packet: simultaneously head and tail
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+class Flit:
+    """One flow-control unit.
+
+    Attributes
+    ----------
+    packet:
+        Owning :class:`Packet` (shared by all sibling flits).
+    index:
+        Position within the packet, ``0 .. packet.size - 1``.
+    ftype:
+        Head/body/tail classification.
+    payload:
+        Data bits as a non-negative integer.
+    error_mask:
+        Accumulated uncorrected bit errors (XOR mask over ``payload``).
+    vc:
+        Virtual channel currently holding the flit (set by the router).
+    hops:
+        Number of router-to-router channels traversed so far.
+    """
+
+    __slots__ = (
+        "packet",
+        "index",
+        "ftype",
+        "payload",
+        "error_mask",
+        "vc",
+        "hops",
+        "injected_at",
+    )
+
+    def __init__(
+        self,
+        packet: "Packet",
+        index: int,
+        ftype: FlitType,
+        payload: int = 0,
+    ) -> None:
+        self.packet = packet
+        self.index = index
+        self.ftype = ftype
+        self.payload = payload
+        self.error_mask = 0
+        self.vc: Optional[int] = None
+        self.hops = 0
+        self.injected_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_head(self) -> bool:
+        return self.ftype.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.ftype.is_tail
+
+    @property
+    def received_payload(self) -> int:
+        """The payload as the receiver sees it (errors applied)."""
+        return self.payload ^ self.error_mask
+
+    @property
+    def is_corrupted(self) -> bool:
+        """Whether any uncorrected bit errors are present."""
+        return self.error_mask != 0
+
+    @property
+    def dest(self) -> int:
+        return self.packet.dest
+
+    @property
+    def src(self) -> int:
+        return self.packet.src
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flit(pkt={self.packet.pid}, idx={self.index}, "
+            f"{self.ftype.value}, {self.src}->{self.dest})"
+        )
+
+
+class Packet:
+    """A multi-flit message between two network interfaces.
+
+    Attributes
+    ----------
+    pid:
+        Unique packet id (unique per *transmission attempt*; a source
+        retransmission creates a fresh :class:`Packet` sharing
+        ``message_id``).
+    message_id:
+        Identity of the logical message, stable across end-to-end
+        retransmissions.
+    src, dest:
+        Source and destination router/core ids.
+    size:
+        Number of flits.
+    created_at:
+        Cycle the message was first handed to the source NI (stable
+        across retransmissions — end-to-end latency is measured from it).
+    crc_check:
+        CRC check bits computed by the source NI over the concatenated
+        payloads.
+    retransmission:
+        How many end-to-end retransmissions preceded this attempt.
+    """
+
+    __slots__ = (
+        "pid",
+        "message_id",
+        "src",
+        "dest",
+        "size",
+        "flit_bits",
+        "created_at",
+        "injected_at",
+        "crc_check",
+        "retransmission",
+        "payloads",
+        "flits",
+        "path",
+    )
+
+    _next_pid = 0
+
+    def __init__(
+        self,
+        src: int,
+        dest: int,
+        size: int,
+        flit_bits: int,
+        created_at: int,
+        payloads: Optional[List[int]] = None,
+        message_id: Optional[int] = None,
+        retransmission: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("packet size must be at least one flit")
+        if src == dest:
+            raise ValueError("source and destination must differ")
+        self.pid = Packet._next_pid
+        Packet._next_pid += 1
+        self.message_id = self.pid if message_id is None else message_id
+        self.src = src
+        self.dest = dest
+        self.size = size
+        self.flit_bits = flit_bits
+        self.created_at = created_at
+        self.injected_at: Optional[int] = None
+        self.crc_check: Optional[int] = None
+        self.retransmission = retransmission
+        if payloads is None:
+            payloads = [0] * size
+        if len(payloads) != size:
+            raise ValueError("one payload per flit required")
+        self.payloads = payloads
+        #: router ids visited by the head flit (filled in by RC); used to
+        #: attribute delivered-packet latency to routers for the RL reward
+        self.path: List[int] = []
+        self.flits = [
+            Flit(self, i, self._flit_type(i, size), payloads[i]) for i in range(size)
+        ]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _flit_type(index: int, size: int) -> FlitType:
+        if size == 1:
+            return FlitType.HEAD_TAIL
+        if index == 0:
+            return FlitType.HEAD
+        if index == size - 1:
+            return FlitType.TAIL
+        return FlitType.BODY
+
+    @property
+    def total_bits(self) -> int:
+        return self.size * self.flit_bits
+
+    def combined_payload(self, received: bool = False) -> int:
+        """Concatenate flit payloads into one integer (flit 0 lowest).
+
+        With ``received=True`` the accumulated error masks are applied,
+        giving the word the destination CRC checker actually sees.
+        """
+        word = 0
+        for i, flit in enumerate(self.flits):
+            bits = flit.received_payload if received else flit.payload
+            word |= bits << (i * self.flit_bits)
+        return word
+
+    def clone_for_retransmission(self, now: int) -> "Packet":
+        """Build a fresh copy for an end-to-end retransmission."""
+        clone = Packet(
+            src=self.src,
+            dest=self.dest,
+            size=self.size,
+            flit_bits=self.flit_bits,
+            created_at=self.created_at,
+            payloads=list(self.payloads),
+            message_id=self.message_id,
+            retransmission=self.retransmission + 1,
+        )
+        clone.crc_check = self.crc_check
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, msg={self.message_id}, "
+            f"{self.src}->{self.dest}, size={self.size}, "
+            f"retx={self.retransmission})"
+        )

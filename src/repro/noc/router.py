@@ -1,0 +1,583 @@
+"""The fault-tolerant router (paper Fig. 2).
+
+A four-stage virtual-channel router — buffer write / route computation
+(BW/RC), VC allocation (VA), switch allocation (SA), switch + link
+traversal (ST/LT) — extended with the paper's per-router fault-tolerant
+machinery:
+
+* per-output-port ARQ retransmission buffers ("output flit buffers");
+* ECC (-Link) enable/disable under control of the operation mode;
+* mode-2 flit pre-retransmission (speculative duplicates);
+* mode-3 pre-transmission stall cycles with relaxed timing;
+* the per-hop ACK/NACK sideband and a go-back-N recovery protocol that
+  preserves flit order within each channel.
+
+The router's :attr:`mode` governs its *output* links (-Link_i consists of
+router i's encoder and router i+1's decoder, switched together —
+Section III), so a transmission carries its protection flag with it and
+the receiver never needs to know the upstream router's mode.
+
+Timing-error injection happens at flit delivery via the channel's error
+model; the decode outcome is classified by the number of bit errors in
+that hop (0 clean / 1 corrected / 2 NACK / 3+ escapes past SECDED), which
+matches the real :class:`repro.coding.SecdedCode` behaviour validated in
+the unit tests without paying for per-hop bit-level re-encoding.
+
+Implementation note: the pipeline stages iterate over dictionaries of
+VCs keyed by pipeline state (``_routing`` / ``_waiting`` / ``_active``)
+rather than scanning every (port, VC) pair each cycle — iteration order
+is insertion order, keeping runs bit-reproducible while making idle
+routers nearly free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.coding.arq import AckKind, AckMessage, RetransmissionBuffer
+from repro.core.modes import MODE_BEHAVIOUR, ModeBehaviour, OperationMode
+from repro.noc.arbiters import RoundRobinArbiter
+from repro.noc.buffers import InputPort, VCState, VirtualChannel
+from repro.noc.channel import Channel, Transmission
+from repro.noc.packet import Flit
+from repro.noc.routing import RoutingFunction
+from repro.noc.stats import RouterEpochStats
+from repro.noc.topology import MeshTopology, Port
+
+__all__ = ["OutputLink", "Router", "ECC_PIPELINE_CYCLES"]
+
+#: Extra cycles a protected (ECC) transfer spends in the encoder/decoder.
+ECC_PIPELINE_CYCLES = 1
+
+_NUM_PORTS = len(Port)
+_LOCAL = int(Port.LOCAL)
+
+
+class OutputLink:
+    """Sender-side state of one inter-router output port."""
+
+    __slots__ = (
+        "port",
+        "channel",
+        "arq",
+        "credits",
+        "vc_allocated",
+        "vc_draining",
+        "free_at",
+        "pending_retx",
+    )
+
+    def __init__(
+        self, port: Port, channel: Channel, num_vcs: int, vc_depth: int, arq_capacity: int
+    ) -> None:
+        self.port = port
+        self.channel = channel
+        self.arq: RetransmissionBuffer[Transmission] = RetransmissionBuffer(arq_capacity)
+        self.credits = [vc_depth] * num_vcs
+        self.vc_allocated = [False] * num_vcs
+        self.vc_draining = [False] * num_vcs
+        #: first cycle the link is free for a new transfer
+        self.free_at = 0
+        #: sequence numbers scheduled for go-back-N retransmission
+        self.pending_retx: Deque[int] = deque()
+
+
+class Router:
+    """One mesh router with the proposed fault-tolerant extensions."""
+
+    def __init__(
+        self,
+        router_id: int,
+        topology: MeshTopology,
+        routing_fn: RoutingFunction,
+        num_vcs: int,
+        vc_depth: int,
+        arq_capacity: int = 8,
+    ) -> None:
+        self.id = router_id
+        self.topology = topology
+        self.routing_fn = routing_fn
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.arq_capacity = arq_capacity
+
+        self.inputs: List[InputPort] = [
+            InputPort(Port(p), num_vcs, vc_depth) for p in range(_NUM_PORTS)
+        ]
+        #: sender-side output links, wired by the Network (LOCAL excluded)
+        self.outputs: Dict[int, OutputLink] = {}
+        #: channels arriving here, for returning ACKs/credits (by input port)
+        self.in_channels: Dict[int, Channel] = {}
+        #: receiver-side next expected ARQ sequence number per input port
+        self.expected_seq: Dict[int, int] = {}
+        #: ejection callback ``(flit, deliver_at)`` installed by the Network
+        self.ejection_sink: Optional[Callable[[Flit, int], None]] = None
+
+        self._local_vc_allocated = [False] * num_vcs
+
+        self.mode = OperationMode.MODE_0
+        self.behaviour: ModeBehaviour = MODE_BEHAVIOUR[self.mode]
+        self._pending_mode: Optional[OperationMode] = None
+
+        self._va_arbiters = [RoundRobinArbiter(_NUM_PORTS * num_vcs) for _ in range(_NUM_PORTS)]
+        self._sa_arbiters = [RoundRobinArbiter(_NUM_PORTS * num_vcs) for _ in range(_NUM_PORTS)]
+
+        # Pipeline-state indices: VCs currently in each stage, in
+        # insertion order (deterministic).
+        self._routing: Dict[VirtualChannel, None] = {}
+        self._waiting: Dict[VirtualChannel, None] = {}
+        self._active: Dict[VirtualChannel, None] = {}
+        #: output ports with a non-empty go-back-N rewind queue
+        self._retx_ports: List[int] = []
+
+        self.epoch = RouterEpochStats()
+        #: local temperature in degrees C, refreshed by the thermal model
+        self.temperature = 50.0
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+    def request_mode(self, mode: OperationMode) -> None:
+        """Ask for an operation-mode change.
+
+        Turning ECC *off* is deferred until every output ARQ buffer has
+        drained, so in-flight protected flits keep their ordered go-back-N
+        recovery; all other transitions apply immediately.
+        """
+        if mode == self.mode:
+            self._pending_mode = None
+            return
+        needs_drain = self.behaviour.ecc_enabled and not MODE_BEHAVIOUR[mode].ecc_enabled
+        if needs_drain and not self._arq_quiescent():
+            self._pending_mode = mode
+            return
+        self._apply_mode(mode)
+
+    def _apply_mode(self, mode: OperationMode) -> None:
+        self.mode = mode
+        self.behaviour = MODE_BEHAVIOUR[mode]
+        self._pending_mode = None
+
+    def _arq_quiescent(self) -> bool:
+        return all(
+            link.arq.is_empty and not link.pending_retx for link in self.outputs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Sideband receivers (called by the Network during delivery)
+    # ------------------------------------------------------------------
+    def receive_credit(self, port: int, vc: int) -> None:
+        link = self.outputs[port]
+        link.credits[vc] += 1
+        if link.credits[vc] > self.vc_depth:
+            raise RuntimeError(
+                f"router {self.id} port {Port(port).name} vc {vc}: credit overflow"
+            )
+        self._maybe_release_output_vc(link, vc)
+
+    def receive_ack(self, port: int, message: AckMessage) -> None:
+        link = self.outputs[port]
+        if message.is_nack:
+            self.epoch.nacks_in[port] += 1
+            # Go-back-N rewind: schedule the NACKed flit and everything
+            # sent after it (still unacknowledged) for in-order resend.
+            link.pending_retx = deque(seq for seq, _ in link.arq if seq >= message.seq)
+            if link.pending_retx and port not in self._retx_ports:
+                self._retx_ports.append(port)
+        else:
+            self.epoch.acks_in[port] += 1
+            if link.arq.peek(message.seq) is not None:
+                item = link.arq.ack(message.seq)
+                self.epoch.arq_buffer_ops += 1
+                # The ACK may complete a draining packet's in-flight set.
+                self._maybe_release_output_vc(link, item.vc)
+            if message.seq in link.pending_retx:
+                # A mode-2 duplicate repaired the flit before the rewind
+                # resent it — cancel the now-pointless retransmission.
+                link.pending_retx = deque(s for s in link.pending_retx if s != message.seq)
+
+    # ------------------------------------------------------------------
+    # Data delivery (called by the Network for each arriving transmission)
+    # ------------------------------------------------------------------
+    def receive_transmissions(self, port: int, arrivals: List[Transmission], now: int) -> None:
+        channel = self.in_channels[port]
+        epoch = self.epoch
+        for t in arrivals:
+            epoch.flits_in[port] += 1
+            errors = channel.error_model.sample_error_bits(t.relaxed)
+            if not t.protected:
+                if errors:
+                    t.flit.error_mask ^= channel.error_model.sample_mask(errors)
+                    epoch.escaped_errors += 1
+                self._accept(port, t, now)
+                continue
+
+            # Protected arrival: the -Link decoder runs on every transfer.
+            epoch.ecc_decodes += 1
+            expected = self.expected_seq.get(port, 0)
+            if t.seq != expected:
+                # Out-of-order under go-back-N (already-accepted duplicate
+                # or a rewound resend of an accepted flit): drop silently.
+                # Duplicates never carried a credit, so only refund for
+                # credit-bearing transmissions.
+                if not t.duplicate:
+                    channel.send_credit(t.vc, now + 1)
+                epoch.dropped_flits += 1
+                continue
+            if errors == 0:
+                self._ack(channel, port, t, now)
+                self._accept(port, t, now)
+                self.expected_seq[port] = expected + 1
+            elif errors == 1:
+                epoch.corrected_errors += 1
+                self._ack(channel, port, t, now)
+                self._accept(port, t, now)
+                self.expected_seq[port] = expected + 1
+            elif errors == 2:
+                # Detected, uncorrectable: drop and NACK.  The credit is
+                # refunded by exactly one member of a mode-2 pair: a
+                # paired original defers to its duplicate (which may yet
+                # deliver into the reserved slot); a corrupted duplicate
+                # at the expected sequence means both copies died, so the
+                # credit comes back here.
+                channel.send_ack(AckMessage(t.seq, AckKind.NACK, now), now + 1)
+                if not t.paired:
+                    channel.send_credit(t.vc, now + 1)
+                epoch.nacks_out[port] += 1
+                epoch.dropped_flits += 1
+            else:
+                # Beyond SECDED: mis-correction corrupts the payload and
+                # escapes to the destination CRC.
+                t.flit.error_mask ^= channel.error_model.sample_mask(errors)
+                epoch.escaped_errors += 1
+                self._ack(channel, port, t, now)
+                self._accept(port, t, now)
+                self.expected_seq[port] = expected + 1
+
+    def _ack(self, channel: Channel, port: int, t: Transmission, now: int) -> None:
+        channel.send_ack(AckMessage(t.seq, AckKind.ACK, now), now + 1)
+        self.epoch.acks_out[port] += 1
+
+    def _accept(self, port: int, t: Transmission, now: int) -> None:
+        flit = t.flit
+        flit.hops += 1
+        vc = self.inputs[port].vcs[t.vc]
+        vc.push(flit)
+        self.epoch.buffer_writes += 1
+        if flit.is_head:
+            if vc.state is not VCState.IDLE:
+                raise RuntimeError(
+                    f"router {self.id}: head flit arrived at busy VC "
+                    f"{vc.port.name}.{vc.vc_id}"
+                )
+            vc.state = VCState.ROUTING
+            vc.stage_ready_cycle = now + 1
+            self._routing[vc] = None
+
+    # ------------------------------------------------------------------
+    # Injection from the local network interface
+    # ------------------------------------------------------------------
+    def try_inject_head(self, flit: Flit, now: int) -> Optional[int]:
+        """Inject a head flit from the NI; returns the VC used, or None."""
+        local = self.inputs[_LOCAL]
+        vc = local.free_vc_for_head()
+        if vc is None:
+            return None
+        vc.push(flit)
+        vc.state = VCState.ROUTING
+        vc.stage_ready_cycle = now + 1
+        self._routing[vc] = None
+        self.epoch.buffer_writes += 1
+        self.epoch.flits_in[_LOCAL] += 1
+        return vc.vc_id
+
+    def try_inject_body(self, flit: Flit, vc_id: int) -> bool:
+        """Inject a body/tail flit on the packet's VC; False if full."""
+        vc = self.inputs[_LOCAL].vcs[vc_id]
+        if vc.is_full:
+            return False
+        vc.push(flit)
+        self.epoch.buffer_writes += 1
+        self.epoch.flits_in[_LOCAL] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Pipeline step (called once per cycle, after deliveries)
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        if self._pending_mode is not None and self._arq_quiescent():
+            self._apply_mode(self._pending_mode)
+        if self._retx_ports:
+            used_output = self._stage_retransmissions(now)
+        else:
+            used_output = None
+        if self._active:
+            self._stage_switch_allocation(now, used_output)
+        if self._waiting:
+            self._stage_vc_allocation(now)
+        if self._routing:
+            self._stage_route_computation(now)
+
+    # -- ST (retransmission drain has priority on each output link) ------
+    def _stage_retransmissions(self, now: int) -> List[bool]:
+        used_output = [False] * _NUM_PORTS
+        for port in list(self._retx_ports):
+            link = self.outputs[port]
+            # Entries ACKed in the meantime (mode-2 duplicates) are stale.
+            while link.pending_retx and link.arq.peek(link.pending_retx[0]) is None:
+                link.pending_retx.popleft()
+            if not link.pending_retx:
+                self._retx_ports.remove(port)
+                continue
+            # The rewound window has exclusive priority on this link: new
+            # flits (with later sequence numbers) must not leapfrog it, or
+            # the in-order receiver would silently drop them forever.
+            used_output[port] = True
+            if link.free_at > now:
+                continue
+            seq = link.pending_retx[0]
+            original = link.arq.peek(seq)
+            if link.credits[original.vc] <= 0:
+                continue  # wait for the refund credit
+            link.pending_retx.popleft()
+            if not link.pending_retx:
+                self._retx_ports.remove(port)
+            link.credits[original.vc] -= 1
+            behaviour = self.behaviour
+            retx = Transmission(
+                flit=original.flit,
+                seq=seq,
+                vc=original.vc,
+                protected=True,
+                relaxed=behaviour.timing_relaxed,
+                duplicate=False,
+                arrive_at=now
+                + link.channel.latency
+                + ECC_PIPELINE_CYCLES
+                + behaviour.extra_cycles_before_send,
+            )
+            link.channel.send(retx)
+            link.free_at = now + 1 + behaviour.extra_cycles_before_send
+            link.arq.nack(seq)  # counts the retransmission in ARQ stats
+            self.epoch.flit_retransmissions += 1
+            self.epoch.flits_out[port] += 1
+            self.epoch.arq_buffer_ops += 1
+            self.epoch.ecc_encodes += 1
+        return used_output
+
+    # -- SA + ST ---------------------------------------------------------
+    def _stage_switch_allocation(self, now: int, used_output: Optional[List[bool]]) -> None:
+        num_vcs = self.num_vcs
+        by_port: Dict[int, Dict[int, VirtualChannel]] = {}
+        for vc in self._active:
+            if vc.fifo and vc.stage_ready_cycle <= now:
+                out_port = vc.out_port
+                if used_output is not None and used_output[out_port]:
+                    continue
+                if not self._sa_resources_free(out_port, vc):
+                    continue
+                line = int(vc.port) * num_vcs + vc.vc_id
+                by_port.setdefault(out_port, {})[line] = vc
+        if not by_port:
+            return
+        used_input = [False] * _NUM_PORTS
+        start = now % _NUM_PORTS
+        for k in range(_NUM_PORTS):
+            out_port = (start + k) % _NUM_PORTS
+            candidates = by_port.get(out_port)
+            if not candidates:
+                continue
+            if out_port != _LOCAL and self.outputs[out_port].free_at > now:
+                continue
+            requests = [False] * (_NUM_PORTS * num_vcs)
+            any_request = False
+            for line in candidates:
+                if not used_input[line // num_vcs]:
+                    requests[line] = True
+                    any_request = True
+            if not any_request:
+                continue
+            self.epoch.arbitration_ops += 1
+            line = self._sa_arbiters[out_port].grant(requests)
+            if line is None:
+                continue
+            used_input[line // num_vcs] = True
+            self._traverse(candidates[line], out_port, now)
+
+    def _sa_resources_free(self, out_port: int, vc: VirtualChannel) -> bool:
+        if out_port == _LOCAL:
+            return True
+        link = self.outputs[out_port]
+        if link.credits[vc.out_vc] <= 0:
+            return False
+        if self.behaviour.ecc_enabled and link.arq.is_full:
+            return False
+        return True
+
+    def _traverse(self, vc: VirtualChannel, out_port: int, now: int) -> None:
+        flit = vc.pop()
+        self.epoch.buffer_reads += 1
+        self.epoch.crossbar_traversals += 1
+        self.epoch.flits_out[out_port] += 1
+        if vc.port != Port.LOCAL:
+            # The flit freed one slot of this input VC: return the credit
+            # to the upstream sender over the channel's sideband wire.
+            self.in_channels[int(vc.port)].send_credit(vc.vc_id, now + 1)
+
+        if out_port == _LOCAL:
+            if self.ejection_sink is None:
+                raise RuntimeError(f"router {self.id} has no ejection sink")
+            self.ejection_sink(flit, now + 1)
+        else:
+            link = self.outputs[out_port]
+            behaviour = self.behaviour
+            protected = behaviour.ecc_enabled
+            link.credits[vc.out_vc] -= 1
+            seq = None
+            if protected:
+                seq = link.arq.push(
+                    Transmission(flit, None, vc.out_vc, True, False, False, 0)
+                )
+                # Rewrite the stored copy with its own sequence number so
+                # the rewind logic can resend it verbatim.
+                link.arq.peek(seq).seq = seq
+                self.epoch.arq_buffer_ops += 1
+                self.epoch.ecc_encodes += 1
+            arrive = (
+                now
+                + link.channel.latency
+                + behaviour.extra_cycles_before_send
+                + (ECC_PIPELINE_CYCLES if protected else 0)
+            )
+            duplicated = behaviour.pre_retransmit and protected
+            link.channel.send(
+                Transmission(
+                    flit,
+                    seq,
+                    vc.out_vc,
+                    protected,
+                    behaviour.timing_relaxed,
+                    False,
+                    arrive,
+                    paired=duplicated,
+                )
+            )
+            link.free_at = now + behaviour.link_slots_per_flit
+            if duplicated:
+                # Mode 2: speculative duplicate one cycle behind.
+                link.channel.send(
+                    Transmission(
+                        flit,
+                        seq,
+                        vc.out_vc,
+                        True,
+                        behaviour.timing_relaxed,
+                        True,
+                        arrive + 1,
+                    )
+                )
+                self.epoch.duplicate_flits += 1
+                self.epoch.ecc_encodes += 1
+
+        if flit.is_tail:
+            out_vc = vc.out_vc
+            if out_port == _LOCAL:
+                self._local_vc_allocated[out_vc] = False
+            else:
+                link = self.outputs[out_port]
+                link.vc_draining[out_vc] = True
+                self._maybe_release_output_vc(link, out_vc)
+            vc.release()
+            del self._active[vc]
+        # Body flits remain eligible next cycle; no stage_ready bump needed.
+
+    def _maybe_release_output_vc(self, link: OutputLink, vc: int) -> None:
+        # The downstream VC is reusable only when every flit of the old
+        # packet is out of flight: all credits home AND no ARQ entry for
+        # this VC awaits acknowledgement.  Credits alone are insufficient
+        # — a NACKed (refunded) flit still has a pending retransmission
+        # that will occupy the downstream buffer later.
+        if not (link.vc_draining[vc] and link.credits[vc] == self.vc_depth):
+            return
+        if any(t.vc == vc for _seq, t in link.arq):
+            return
+        link.vc_draining[vc] = False
+        link.vc_allocated[vc] = False
+
+    # -- VA ---------------------------------------------------------------
+    def _stage_vc_allocation(self, now: int) -> None:
+        num_vcs = self.num_vcs
+        by_port: Dict[int, Dict[int, VirtualChannel]] = {}
+        for vc in self._waiting:
+            if vc.stage_ready_cycle <= now:
+                line = int(vc.port) * num_vcs + vc.vc_id
+                by_port.setdefault(vc.out_port, {})[line] = vc
+        for out_port, candidates in by_port.items():
+            free_vcs = self._free_output_vcs(out_port)
+            if not free_vcs:
+                continue
+            requests = [False] * (_NUM_PORTS * num_vcs)
+            for line in candidates:
+                requests[line] = True
+            remaining = len(candidates)
+            for out_vc in free_vcs:
+                if remaining == 0:
+                    break
+                self.epoch.arbitration_ops += 1
+                line = self._va_arbiters[out_port].grant(requests)
+                if line is None:
+                    break
+                requests[line] = False
+                remaining -= 1
+                winner = candidates[line]
+                winner.out_vc = out_vc
+                winner.state = VCState.ACTIVE
+                winner.stage_ready_cycle = now + 1
+                del self._waiting[winner]
+                self._active[winner] = None
+                if out_port == _LOCAL:
+                    self._local_vc_allocated[out_vc] = True
+                else:
+                    self.outputs[out_port].vc_allocated[out_vc] = True
+
+    def _free_output_vcs(self, out_port: int) -> List[int]:
+        if out_port == _LOCAL:
+            allocated = self._local_vc_allocated
+        else:
+            link = self.outputs.get(out_port)
+            if link is None:
+                return []
+            allocated = link.vc_allocated
+        return [v for v in range(self.num_vcs) if not allocated[v]]
+
+    # -- RC ---------------------------------------------------------------
+    def _stage_route_computation(self, now: int) -> None:
+        for vc in list(self._routing):
+            if vc.stage_ready_cycle <= now:
+                head = vc.front
+                vc.out_port = int(self.routing_fn(self.topology, self.id, head.dest))
+                head.packet.path.append(self.id)
+                vc.state = VCState.WAITING_VC
+                vc.stage_ready_cycle = now + 1
+                del self._routing[vc]
+                self._waiting[vc] = None
+
+    # ------------------------------------------------------------------
+    def occupied_input_vcs(self) -> List[int]:
+        """Occupied VC count per input port (Table I feature 1)."""
+        return [port.occupied_vcs for port in self.inputs]
+
+    @property
+    def is_idle(self) -> bool:
+        """No packet anywhere in this router's pipeline or ARQ windows."""
+        return not (
+            self._routing
+            or self._waiting
+            or self._active
+            or self._retx_ports
+            or any(not link.arq.is_empty for link in self.outputs.values())
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Router({self.id}, mode={self.mode.name})"

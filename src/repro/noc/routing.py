@@ -1,0 +1,96 @@
+"""Routing functions.
+
+The paper uses deterministic X-Y dimension-order routing (Table II), which
+is deadlock-free on a mesh without extra virtual-channel classes.  A Y-X
+variant and a minimal-adaptive O1TURN-style router are provided for the
+extension benchmarks; both restrict themselves to minimal quadrants.
+
+A routing function maps ``(topology, current_node, dest_node)`` to the
+output :class:`~repro.noc.topology.Port` the head flit must request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.noc.topology import MeshTopology, Port
+
+__all__ = [
+    "RoutingFunction",
+    "xy_route",
+    "yx_route",
+    "minimal_ports",
+    "make_o1turn_route",
+    "ROUTING_FUNCTIONS",
+]
+
+#: Signature shared by all routing functions.
+RoutingFunction = Callable[[MeshTopology, int, int], Port]
+
+
+def xy_route(topology: MeshTopology, node: int, dest: int) -> Port:
+    """Dimension-order X-then-Y routing (the paper's configuration)."""
+    if node == dest:
+        return Port.LOCAL
+    x, y = topology.coordinates(node)
+    dx, dy = topology.coordinates(dest)
+    if x != dx:
+        return Port.EAST if dx > x else Port.WEST
+    return Port.NORTH if dy > y else Port.SOUTH
+
+
+def yx_route(topology: MeshTopology, node: int, dest: int) -> Port:
+    """Dimension-order Y-then-X routing (used by the O1TURN variant)."""
+    if node == dest:
+        return Port.LOCAL
+    x, y = topology.coordinates(node)
+    dx, dy = topology.coordinates(dest)
+    if y != dy:
+        return Port.NORTH if dy > y else Port.SOUTH
+    return Port.EAST if dx > x else Port.WEST
+
+
+def minimal_ports(topology: MeshTopology, node: int, dest: int) -> List[Port]:
+    """All productive (minimal-quadrant) output ports."""
+    if node == dest:
+        return [Port.LOCAL]
+    x, y = topology.coordinates(node)
+    dx, dy = topology.coordinates(dest)
+    ports = []
+    if dx > x:
+        ports.append(Port.EAST)
+    elif dx < x:
+        ports.append(Port.WEST)
+    if dy > y:
+        ports.append(Port.NORTH)
+    elif dy < y:
+        ports.append(Port.SOUTH)
+    return ports
+
+
+def make_o1turn_route(selector: Sequence[int]) -> RoutingFunction:
+    """O1TURN-style routing: pick XY or YX per packet.
+
+    ``selector`` is any sequence consulted round-robin; in the simulator it
+    is seeded per-router so the choice is deterministic and reproducible.
+    Note: full O1TURN requires VC partitioning for deadlock freedom; the
+    simulator assigns even VCs to XY and odd VCs to YX packets when this
+    function is active.
+    """
+    state = {"i": 0}
+
+    def route(topology: MeshTopology, node: int, dest: int) -> Port:
+        choice = selector[state["i"] % len(selector)]
+        state["i"] += 1
+        return xy_route(topology, node, dest) if choice == 0 else yx_route(
+            topology, node, dest
+        )
+
+    return route
+
+
+#: Registry used by :class:`repro.sim.config.SimulationConfig`.
+ROUTING_FUNCTIONS = {
+    "xy": xy_route,
+    "yx": yx_route,
+}

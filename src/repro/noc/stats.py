@@ -1,0 +1,248 @@
+"""Statistics counters for routers and the whole network.
+
+Two granularities matter:
+
+* **Epoch counters** (:class:`RouterEpochStats`) — reset every control
+  epoch; they feed the RL state features of Table I (link utilization,
+  NACK rates, buffer occupancy) and the per-router reward (E2E latency of
+  packets that traversed the router, power).
+* **Run counters** (:class:`NetworkStats`) — accumulated over the whole
+  measurement phase; they produce the evaluation metrics of Section VI
+  (retransmissions, latency, execution time, energy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.noc.topology import Port
+
+__all__ = ["RouterEpochStats", "NetworkStats", "LatencyAccumulator"]
+
+_NUM_PORTS = len(Port)
+
+
+class LatencyAccumulator:
+    """Streaming mean/min/max/histogram of packet latencies."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_buckets")
+
+    #: histogram bucket upper bounds in cycles (last bucket = overflow)
+    BUCKET_BOUNDS = (16, 32, 64, 128, 256, 512, 1024, 4096)
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+        self._buckets = [0] * (len(self.BUCKET_BOUNDS) + 1)
+
+    def record(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self.count += 1
+        self.total += latency
+        if self.minimum is None or latency < self.minimum:
+            self.minimum = latency
+        if self.maximum is None or latency > self.maximum:
+            self.maximum = latency
+        for i, bound in enumerate(self.BUCKET_BOUNDS):
+            if latency <= bound:
+                self._buckets[i] += 1
+                break
+        else:
+            self._buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def histogram(self) -> List[int]:
+        return list(self._buckets)
+
+    def merge(self, other: "LatencyAccumulator") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum if self.minimum is None else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum if self.maximum is None else max(self.maximum, other.maximum)
+            )
+        for i, n in enumerate(other._buckets):
+            self._buckets[i] += n
+
+
+class RouterEpochStats:
+    """Per-router counters reset at every control epoch.
+
+    The per-port arrays are indexed by :class:`~repro.noc.topology.Port`
+    values; they directly back the Table I state features.
+    """
+
+    __slots__ = (
+        "flits_in",
+        "flits_out",
+        "nacks_in",
+        "nacks_out",
+        "acks_in",
+        "acks_out",
+        "flit_retransmissions",
+        "corrected_errors",
+        "escaped_errors",
+        "delivered_latency_total",
+        "delivered_packets",
+        "buffer_writes",
+        "buffer_reads",
+        "crossbar_traversals",
+        "arbitration_ops",
+        "ecc_encodes",
+        "ecc_decodes",
+        "arq_buffer_ops",
+        "duplicate_flits",
+        "dropped_flits",
+        "crc_ops",
+        "core_activity_flits",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.flits_in = [0] * _NUM_PORTS
+        self.flits_out = [0] * _NUM_PORTS
+        self.nacks_in = [0] * _NUM_PORTS   # NACKs received (per output port)
+        self.nacks_out = [0] * _NUM_PORTS  # NACKs sent (per input port)
+        self.acks_in = [0] * _NUM_PORTS
+        self.acks_out = [0] * _NUM_PORTS
+        self.flit_retransmissions = 0
+        self.corrected_errors = 0
+        self.escaped_errors = 0
+        #: summed E2E latency / count of packets that traversed this router
+        self.delivered_latency_total = 0
+        self.delivered_packets = 0
+        # Energy-model event counters
+        self.buffer_writes = 0
+        self.buffer_reads = 0
+        self.crossbar_traversals = 0
+        self.arbitration_ops = 0
+        self.ecc_encodes = 0
+        self.ecc_decodes = 0
+        self.arq_buffer_ops = 0
+        self.duplicate_flits = 0
+        self.dropped_flits = 0
+        self.crc_ops = 0
+        #: flits of *unique* work at the local NI (first-attempt
+        #: injections + deliveries) — drives the core-power proxy without
+        #: letting NoC retransmissions heat the core
+        self.core_activity_flits = 0
+
+    # ------------------------------------------------------------------
+    def input_link_utilization(self, epoch_cycles: int) -> List[float]:
+        """Input flits/cycle per port (Table I feature 2)."""
+        return [n / epoch_cycles for n in self.flits_in]
+
+    def output_link_utilization(self, epoch_cycles: int) -> List[float]:
+        """Output flits/cycle per port (Table I feature 3)."""
+        return [n / epoch_cycles for n in self.flits_out]
+
+    def input_nack_rate(self) -> List[float]:
+        """NACKs received as a fraction of flits sent, per output port
+        (Table I feature 4: percentage rate of NACK received)."""
+        return [
+            self.nacks_in[p] / self.flits_out[p] if self.flits_out[p] else 0.0
+            for p in range(_NUM_PORTS)
+        ]
+
+    def output_nack_rate(self) -> List[float]:
+        """NACKs sent as a fraction of flits received, per input port
+        (Table I feature 5: percentage rate of NACK sent)."""
+        return [
+            self.nacks_out[p] / self.flits_in[p] if self.flits_in[p] else 0.0
+            for p in range(_NUM_PORTS)
+        ]
+
+    def mean_delivered_latency(self, default: float) -> float:
+        """Average E2E latency of packets that traversed this router."""
+        if self.delivered_packets == 0:
+            return default
+        return self.delivered_latency_total / self.delivered_packets
+
+
+class NetworkStats:
+    """Whole-run counters for the evaluation metrics of Section VI."""
+
+    __slots__ = (
+        "cycles",
+        "packets_injected",
+        "packets_delivered",
+        "flits_delivered",
+        "packet_retransmissions",
+        "flit_retransmissions",
+        "corrected_errors",
+        "escaped_errors",
+        "crc_failures",
+        "duplicate_flits",
+        "dropped_flits",
+        "silent_corruptions",
+        "latency",
+        "mode_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        #: end-to-end packet retransmissions triggered by the destination CRC
+        self.packet_retransmissions = 0
+        #: per-hop flit retransmissions triggered by ARQ NACKs
+        self.flit_retransmissions = 0
+        self.corrected_errors = 0
+        self.escaped_errors = 0
+        self.crc_failures = 0
+        self.duplicate_flits = 0
+        self.dropped_flits = 0
+        self.silent_corruptions = 0
+        self.latency = LatencyAccumulator()
+        #: cycles spent in each operation mode, summed over routers
+        self.mode_cycles: Dict[int, int] = {0: 0, 1: 0, 2: 0, 3: 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def retransmission_events(self) -> int:
+        """Fault-caused retransmissions (Fig. 6's metric): one event per
+        end-to-end packet retransmission or per-hop flit retransmission."""
+        return self.packet_retransmissions + self.flit_retransmissions
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+    @property
+    def throughput(self) -> float:
+        """Delivered flits per cycle across the whole network."""
+        return self.flits_delivered / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary used by the experiment harness and benches."""
+        return {
+            "cycles": self.cycles,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "flits_delivered": self.flits_delivered,
+            "packet_retransmissions": self.packet_retransmissions,
+            "flit_retransmissions": self.flit_retransmissions,
+            "retransmission_events": self.retransmission_events,
+            "corrected_errors": self.corrected_errors,
+            "escaped_errors": self.escaped_errors,
+            "crc_failures": self.crc_failures,
+            "duplicate_flits": self.duplicate_flits,
+            "dropped_flits": self.dropped_flits,
+            "silent_corruptions": self.silent_corruptions,
+            "mean_latency": self.mean_latency,
+            "throughput": self.throughput,
+        }

@@ -1,0 +1,20 @@
+"""Power/energy/area substrate (ORION 2.0 + Synopsys DC stand-ins)."""
+
+from repro.power.area import AreaParams, RouterAreaModel
+from repro.power.orion import (
+    CorePowerParams,
+    DesignPowerProfile,
+    EnergyParams,
+    EpochEnergy,
+    RouterPowerModel,
+)
+
+__all__ = [
+    "AreaParams",
+    "RouterAreaModel",
+    "CorePowerParams",
+    "DesignPowerProfile",
+    "EnergyParams",
+    "EpochEnergy",
+    "RouterPowerModel",
+]

@@ -1,0 +1,86 @@
+"""Router area model (32 nm) and per-design overhead accounting.
+
+The paper evaluates area with Synopsys Design Vision at 32 nm and reports
+(Section VI-B): the RL control logic (output buffers + ALU for Q-value
+computation + Q-table SRAM) adds 2360 um^2, which is a 5.5 % overhead
+over the CRC router, 4.8 % over the ARQ+ECC router, and 4.5 % over the
+DT router.  Those three ratios pin down the component areas used here:
+
+* base (CRC) router — buffers, crossbar, allocators, CRC codecs:
+  2360 / 0.055 = 42,909 um^2;
+* ECC+ARQ blocks (encoders, decoders, retransmission buffers):
+  2360 / 0.048 - 42,909 = 6,258 um^2;
+* DT prediction logic: 2360 / 0.045 - 49,167 = 3,277 um^2;
+* RL control logic: 2,360 um^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["AreaParams", "RouterAreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaParams:
+    """Component areas in square micrometres (32 nm library)."""
+
+    base_router_um2: float = 42_909.0
+    ecc_arq_um2: float = 6_258.0
+    dt_logic_um2: float = 3_277.0
+    rl_logic_um2: float = 2_360.0
+
+
+class RouterAreaModel:
+    """Total area and overhead ratios for each compared router design."""
+
+    #: component composition of each design
+    _COMPOSITION = {
+        "crc": ("base",),
+        "arq_ecc": ("base", "ecc"),
+        "dt": ("base", "ecc", "dt"),
+        "rl": ("base", "ecc", "rl"),
+    }
+
+    def __init__(self, params: AreaParams = AreaParams()) -> None:
+        self.params = params
+        self._component_um2 = {
+            "base": params.base_router_um2,
+            "ecc": params.ecc_arq_um2,
+            "dt": params.dt_logic_um2,
+            "rl": params.rl_logic_um2,
+        }
+
+    def design_area_um2(self, design: str) -> float:
+        """Total router area of one design ('crc', 'arq_ecc', 'dt', 'rl')."""
+        try:
+            parts = self._COMPOSITION[design]
+        except KeyError:
+            raise ValueError(f"unknown design {design!r}") from None
+        return sum(self._component_um2[p] for p in parts)
+
+    def rl_added_area_um2(self) -> float:
+        """Extra silicon the RL control logic adds (the 2360 um^2 figure)."""
+        return self.params.rl_logic_um2
+
+    def rl_overhead_vs(self, design: str) -> float:
+        """RL logic area as a fraction of a comparison design's router.
+
+        Reproduces the paper's 5.5 % / 4.8 % / 4.5 % triplet against
+        'crc' / 'arq_ecc' / 'dt'.
+        """
+        return self.params.rl_logic_um2 / self.design_area_um2(design)
+
+    def summary(self) -> Dict[str, float]:
+        """All design areas plus the three reported overhead ratios."""
+        return {
+            "crc_um2": self.design_area_um2("crc"),
+            "arq_ecc_um2": self.design_area_um2("arq_ecc"),
+            "dt_um2": self.design_area_um2("dt"),
+            "rl_um2": self.design_area_um2("rl"),
+            "rl_added_um2": self.rl_added_area_um2(),
+            "overhead_vs_crc": self.rl_overhead_vs("crc"),
+            "overhead_vs_arq_ecc": self.rl_overhead_vs("arq_ecc"),
+            "overhead_vs_dt": self.rl_overhead_vs("dt"),
+        }

@@ -1,0 +1,34 @@
+"""Integrated simulation harness: config, closed-loop sim, experiments."""
+
+from repro.sim.config import SimulationConfig, paper_config, scaled_config
+from repro.sim.experiment import (
+    DESIGN_ORDER,
+    compare_designs,
+    default_design_factories,
+    geometric_mean,
+    normalize_to_baseline,
+    pretrain_policy,
+    run_design_on_trace,
+    run_parsec_suite,
+    synthesize_benchmark_trace,
+)
+from repro.sim.metrics import RunResult, StatsSnapshot
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "SimulationConfig",
+    "paper_config",
+    "scaled_config",
+    "DESIGN_ORDER",
+    "compare_designs",
+    "default_design_factories",
+    "geometric_mean",
+    "normalize_to_baseline",
+    "pretrain_policy",
+    "run_design_on_trace",
+    "run_parsec_suite",
+    "synthesize_benchmark_trace",
+    "RunResult",
+    "StatsSnapshot",
+    "Simulator",
+]

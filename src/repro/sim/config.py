@@ -1,0 +1,102 @@
+"""Simulation configuration, including the paper's Table II parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = ["SimulationConfig", "paper_config", "scaled_config"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to build one simulation instance.
+
+    The defaults reproduce Table II: an 8x8 2D mesh of 4-stage routers
+    with XY routing, 4 VCs per port, 128-bit flits, 4-flit packets, at
+    1.0 V and 2.0 GHz in 32 nm; the RL temporal-difference rule is
+    applied every 1K cycles, after 1M pre-training and 300K warm-up
+    cycles of synthetic traffic (Section V-B).
+    """
+
+    # Topology / router microarchitecture (Table II)
+    width: int = 8
+    height: int = 8
+    num_vcs: int = 4
+    vc_depth: int = 4
+    flit_bits: int = 128
+    packet_size: int = 4
+    routing: str = "xy"
+    channel_latency: int = 1
+    arq_capacity: int = 8
+
+    # Electrical operating point (Table II)
+    clock_hz: float = 2.0e9
+    voltage: float = 1.0
+
+    # Control-loop phases (Section V-B)
+    epoch_cycles: int = 1000
+    pretrain_cycles: int = 1_000_000
+    warmup_cycles: int = 300_000
+
+    # Fault model
+    error_scale: float = 1.0
+    error_severity: Tuple[float, float, float] = (0.33, 0.47, 0.20)
+    varius_seed: int = 1
+
+    # Thermal model
+    t_ambient: float = 45.0
+    thermal_alpha: float = 0.25
+
+    # RL state encoding (see repro.core.state: compact vs full Table I,
+    # and the Markov-completing current-mode feature)
+    compact_state: bool = True
+    include_mode_in_state: bool = True
+
+    # Traffic / pretraining
+    pretrain_pattern: str = "uniform"
+    pretrain_injection_rate: float = 0.015
+
+    # Safety valve for drain loops
+    max_drain_cycles: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError("mesh must be at least 2x2")
+        if self.epoch_cycles < 1:
+            raise ValueError("epoch must span at least one cycle")
+        if self.packet_size < 1:
+            raise ValueError("packets need at least one flit")
+        if self.routing not in ("xy", "yx"):
+            raise ValueError(f"unknown routing {self.routing!r}")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+
+def paper_config() -> SimulationConfig:
+    """The full Table II configuration (expensive in pure Python)."""
+    return SimulationConfig()
+
+
+def scaled_config(
+    epoch_cycles: int = 500,
+    pretrain_cycles: int = 40_000,
+    warmup_cycles: int = 4_000,
+    **overrides,
+) -> SimulationConfig:
+    """Table II topology with shortened control-loop phases.
+
+    The default scaled phases keep the same structure (pre-train ->
+    warm-up -> test) at ~1/25 the paper's cycle counts, which the
+    benches use to finish in minutes; a scaling sanity bench checks the
+    relative results are stable under 2x longer phases.
+    """
+    return replace(
+        SimulationConfig(),
+        epoch_cycles=epoch_cycles,
+        pretrain_cycles=pretrain_cycles,
+        warmup_cycles=warmup_cycles,
+        **overrides,
+    )

@@ -1,0 +1,178 @@
+"""Experiment runner: the four-design comparison of Section VI.
+
+Runs the same benchmark trace through all compared designs — static CRC,
+static ARQ+ECC, the decision-tree baseline, and the proposed RL policy —
+with identical phase structure (pre-train on synthetic traffic for the
+learning designs, warm up, then the measured testing phase), and
+normalizes every metric to the CRC baseline exactly as Figs 6-10 do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.baselines.decision_tree import DecisionTreePolicy
+from repro.baselines.static import arq_ecc_policy, crc_policy
+from repro.core.controller import ControlPolicy
+from repro.core.rl_policy import RLControlPolicy
+from repro.noc.topology import MeshTopology
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import RunResult
+from repro.sim.simulator import Simulator
+from repro.traffic.parsec import PARSEC_PROFILES, ParsecTraceSynthesizer
+from repro.traffic.trace import TraceRecord
+
+__all__ = [
+    "DESIGN_ORDER",
+    "default_design_factories",
+    "run_design_on_trace",
+    "pretrain_policy",
+    "compare_designs",
+    "run_parsec_suite",
+    "normalize_to_baseline",
+    "geometric_mean",
+]
+
+#: Plot order used by every figure in the paper.
+DESIGN_ORDER = ("crc", "arq_ecc", "dt", "rl")
+
+
+def default_design_factories(
+    seed: int = 0, share_rl_table: bool = True
+) -> Dict[str, Callable[[], ControlPolicy]]:
+    """Fresh-policy factories for the four compared designs.
+
+    ``share_rl_table`` defaults to the scaled-run accelerator (see
+    :class:`repro.core.rl_policy.RLControlPolicy`); pass False for the
+    paper's strictly per-router agents.
+    """
+    return {
+        "crc": crc_policy,
+        "arq_ecc": arq_ecc_policy,
+        "dt": DecisionTreePolicy,
+        "rl": lambda: RLControlPolicy(share_table=share_rl_table, seed=seed),
+    }
+
+
+def run_design_on_trace(
+    policy: ControlPolicy,
+    records: List[TraceRecord],
+    config: SimulationConfig,
+    benchmark: str = "trace",
+    seed: int = 0,
+    pretrained: bool = False,
+) -> RunResult:
+    """Full phase sequence for one design on one trace.
+
+    ``pretrained=True`` skips the synthetic pre-training phase — used
+    when the caller already pre-trained the policy (the trainable
+    policies keep their learned models across runs).
+    """
+    sim = Simulator(config, policy, seed=seed)
+    if policy.trainable and not pretrained:
+        sim.pretrain()
+        policy.freeze()
+    sim.warmup()
+    return sim.measure_trace(records, benchmark)
+
+
+def pretrain_policy(policy: ControlPolicy, config: SimulationConfig, seed: int = 0) -> None:
+    """Run the synthetic pre-training phase once on a throwaway platform."""
+    if policy.trainable:
+        sim = Simulator(config, policy, seed=seed)
+        sim.pretrain()
+    policy.freeze()
+
+
+def compare_designs(
+    records: List[TraceRecord],
+    config: SimulationConfig,
+    benchmark: str = "trace",
+    seed: int = 0,
+    designs: Optional[Dict[str, Callable[[], ControlPolicy]]] = None,
+    policies: Optional[Dict[str, ControlPolicy]] = None,
+) -> Dict[str, RunResult]:
+    """Run every design on the same trace; returns results by design.
+
+    Pass ``policies`` (already pre-trained) to skip the per-benchmark
+    pre-training phase; otherwise fresh policies are built from
+    ``designs`` factories and pre-trained individually.
+    """
+    results = {}
+    if policies is not None:
+        for name, policy in policies.items():
+            results[name] = run_design_on_trace(
+                policy, records, config, benchmark=benchmark, seed=seed, pretrained=True
+            )
+        return results
+    factories = designs if designs is not None else default_design_factories(seed)
+    for name, factory in factories.items():
+        results[name] = run_design_on_trace(
+            factory(), records, config, benchmark=benchmark, seed=seed
+        )
+    return results
+
+
+def synthesize_benchmark_trace(
+    benchmark: str,
+    config: SimulationConfig,
+    cycles: int,
+    seed: int = 0,
+) -> List[TraceRecord]:
+    """PARSEC-like trace for one benchmark on the configured mesh."""
+    profile = PARSEC_PROFILES[benchmark]
+    topology = MeshTopology(config.width, config.height)
+    synthesizer = ParsecTraceSynthesizer(profile, topology, random.Random(seed + hash(benchmark) % 1000))
+    return synthesizer.synthesize(cycles)
+
+
+def run_parsec_suite(
+    config: SimulationConfig,
+    trace_cycles: int,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    designs: Optional[Dict[str, Callable[[], ControlPolicy]]] = None,
+) -> Dict[str, Dict[str, RunResult]]:
+    """The full evaluation grid: benchmarks x designs.
+
+    Each design's policy is pre-trained once on synthetic traffic, then
+    evaluated on every benchmark trace (learning policies keep adapting
+    online during testing, exactly as the paper describes).
+    """
+    names = list(benchmarks) if benchmarks is not None else sorted(PARSEC_PROFILES)
+    factories = designs if designs is not None else default_design_factories(seed)
+    policies = {name: factory() for name, factory in factories.items()}
+    for policy in policies.values():
+        pretrain_policy(policy, config, seed=seed)
+    suite = {}
+    for benchmark in names:
+        records = synthesize_benchmark_trace(benchmark, config, trace_cycles, seed)
+        suite[benchmark] = compare_designs(
+            records, config, benchmark=benchmark, seed=seed, policies=policies
+        )
+    return suite
+
+
+def normalize_to_baseline(
+    results: Dict[str, RunResult],
+    metric: Callable[[RunResult], float],
+    baseline: str = "crc",
+) -> Dict[str, float]:
+    """Per-design metric values divided by the baseline's (Figs 6-10)."""
+    reference = metric(results[baseline])
+    if reference == 0:
+        return {name: 0.0 for name in results}
+    return {name: metric(result) / reference for name, result in results.items()}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,380 @@
+"""The integrated closed-loop simulator.
+
+Assembles every substrate into the paper's evaluation platform:
+
+* the cycle-level NoC (:mod:`repro.noc`) carries the traffic;
+* at every control epoch (Table II / Section V-B: 1K cycles), per-router
+  power is computed from the epoch's event counters (ORION model), fed
+  into the thermal RC grid (HotSpot stand-in), whose temperatures drive
+  the VARIUS timing-error probabilities injected on every channel;
+* the fault-tolerant control policy observes the fresh per-router state,
+  receives the reward ``1/(E2E_latency x Power)`` for its previous
+  action, and picks each router's operation mode for the next epoch.
+
+Phases follow Section V-B: a pre-training phase on synthetic traffic
+(learning enabled), a warm-up period, then the measured testing phase
+replaying an application trace until every message is delivered.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.core.controller import ControlPolicy, compute_reward
+from repro.core.modes import OperationMode
+from repro.core.state import DiscretizationConfig, RouterObservation, observe_router
+from repro.faults.injector import FaultInjector
+from repro.faults.thermal import ThermalGrid
+from repro.faults.varius import VariusModel
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.routing import ROUTING_FUNCTIONS
+from repro.noc.topology import MeshTopology, Port
+from repro.power.orion import CorePowerParams, EnergyParams, RouterPowerModel
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import RunResult, StatsSnapshot
+from repro.traffic.synthetic import SyntheticTraffic
+from repro.traffic.trace import TraceRecord, TraceReplayer
+
+__all__ = ["TrafficSource", "Simulator"]
+
+
+class TrafficSource(Protocol):
+    """Anything that can offer packets cycle by cycle."""
+
+    def packets_for_cycle(self, now: int) -> List[Packet]: ...
+
+
+class Simulator:
+    """One (design, platform) instance with its full control loop."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        policy: ControlPolicy,
+        seed: int = 0,
+        energy_params: Optional[EnergyParams] = None,
+        core_params: Optional[CorePowerParams] = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.seed = seed
+
+        topology = MeshTopology(config.width, config.height)
+        self.network = Network(
+            topology,
+            routing_fn=ROUTING_FUNCTIONS[config.routing],
+            num_vcs=config.num_vcs,
+            vc_depth=config.vc_depth,
+            flit_bits=config.flit_bits,
+            arq_capacity=config.arq_capacity,
+            channel_latency=config.channel_latency,
+            rng=random.Random(seed),
+            error_severity=config.error_severity,
+        )
+        self.varius = VariusModel(config.width, config.height, seed=config.varius_seed)
+        self.thermal = ThermalGrid(
+            config.width,
+            config.height,
+            t_ambient=config.t_ambient,
+            alpha=config.thermal_alpha,
+        )
+        self.injector = FaultInjector(
+            self.network, self.varius, voltage=config.voltage, error_scale=config.error_scale
+        )
+        params = energy_params if energy_params is not None else EnergyParams(clock_hz=config.clock_hz)
+        self.power_model = RouterPowerModel(params)
+        self.core_params = core_params if core_params is not None else CorePowerParams()
+        self.state_config = DiscretizationConfig(num_vcs=config.num_vcs)
+
+        self.policy.reset(topology.num_nodes)
+        self._prev_obs: Optional[List[RouterObservation]] = None
+        self._prev_actions: Optional[List[OperationMode]] = None
+        self._last_epoch_latency = 1.0
+        self._latency_snapshot = (0, 0)  # (count, total) at last epoch
+
+        #: when set, every router is pinned to this mode at each epoch —
+        #: used by the pre-training curriculum to collect off-policy
+        #: experience under consistent network-wide behaviour
+        self.forced_mode: Optional[OperationMode] = None
+
+        # Measurement accumulators (active between begin/end measurement)
+        self._measuring = False
+        self._measured_dynamic_pj = 0.0
+        self._measured_static_pj = 0.0
+        self._measured_epochs = 0
+        self._measured_temp_sum = 0.0
+        self._measured_error_sum = 0.0
+
+        # Prime the fault model with the initial (ambient) thermal state.
+        self.injector.refresh(self.thermal.as_list())
+
+    # ------------------------------------------------------------------
+    # Control epoch
+    # ------------------------------------------------------------------
+    def _router_power_watts(self, span: int) -> List[float]:
+        """Per-router total power over the epoch (or partial span) ended."""
+        config = self.config
+        powers = []
+        for router in self.network.routers:
+            energy = self.power_model.epoch_energy(
+                router.epoch,
+                self.policy.profile,
+                router.behaviour.ecc_enabled,
+                span,
+            )
+            powers.append(
+                RouterPowerModel.to_watts(energy.total_pj, span, config.clock_hz)
+            )
+            if self._measuring:
+                self._measured_dynamic_pj += energy.dynamic_pj
+                self._measured_static_pj += energy.static_pj
+        return powers
+
+    def _tile_power_watts(self, router_powers: Sequence[float], span: int) -> List[float]:
+        tiles = []
+        for router, router_w in zip(self.network.routers, router_powers):
+            rate = router.epoch.core_activity_flits / span
+            tiles.append(self.core_params.core_power(rate) + router_w)
+        return tiles
+
+    def _epoch_network_latency(self) -> float:
+        acc = self.network.stats.latency
+        count0, total0 = self._latency_snapshot
+        count = acc.count - count0
+        total = acc.total - total0
+        self._latency_snapshot = (acc.count, acc.total)
+        if count > 0:
+            self._last_epoch_latency = total / count
+        return self._last_epoch_latency
+
+    def _channel_error_by_router(self) -> Dict[int, float]:
+        sums: Dict[int, List[float]] = {}
+        for (src, _port), p in self.injector.current.items():
+            sums.setdefault(src, []).append(p)
+        return {src: sum(ps) / len(ps) for src, ps in sums.items()}
+
+    def _epoch_boundary(self, learn: bool, span: Optional[int] = None) -> None:
+        config = self.config
+        network = self.network
+        span = config.epoch_cycles if span is None else span
+
+        router_powers = self._router_power_watts(span)
+        tile_powers = self._tile_power_watts(router_powers, span)
+        temperatures = self.thermal.step(tile_powers)
+        for router, temperature in zip(network.routers, temperatures):
+            router.temperature = float(temperature)
+        self.injector.refresh(temperatures)
+
+        default_latency = self._epoch_network_latency()
+        error_by_router = self._channel_error_by_router()
+        observations = []
+        for router in network.routers:
+            obs = observe_router(
+                router,
+                span,
+                self.state_config,
+                config.compact_state,
+                config.include_mode_in_state,
+            )
+            obs.true_error_probability = error_by_router.get(router.id, 0.0)
+            observations.append(obs)
+
+        if learn and self._prev_obs is not None:
+            for router, obs, prev, action in zip(
+                network.routers, observations, self._prev_obs, self._prev_actions
+            ):
+                reward = compute_reward(
+                    router.epoch.mean_delivered_latency(default_latency),
+                    router_powers[router.id],
+                )
+                self.policy.learn(router.id, prev, action, reward, obs)
+
+        actions = []
+        for router, obs in zip(network.routers, observations):
+            if self.forced_mode is not None:
+                mode = self.forced_mode
+            else:
+                mode = self.policy.select(router.id, obs)
+            network.set_mode(router.id, mode)
+            actions.append(mode)
+        self._prev_obs = observations
+        self._prev_actions = actions
+
+        if self._measuring:
+            self._measured_epochs += 1
+            self._measured_temp_sum += float(sum(temperatures)) / len(temperatures)
+            self._measured_error_sum += self.injector.mean_probability()
+
+        network.harvest_epoch_counters(span)
+        network.reset_epoch_counters()
+
+    # ------------------------------------------------------------------
+    # Phase drivers
+    # ------------------------------------------------------------------
+    def run_cycles(
+        self,
+        source: Optional[TrafficSource],
+        cycles: int,
+        learn: bool = True,
+        time_origin: Optional[int] = None,
+    ) -> None:
+        """Advance a fixed number of cycles, injecting from ``source``."""
+        network = self.network
+        epoch = self.config.epoch_cycles
+        origin = network.now if time_origin is None else time_origin
+        for _ in range(cycles):
+            if source is not None:
+                for packet in source.packets_for_cycle(network.now - origin):
+                    # Sources see trace-relative time; latency accounting
+                    # needs the absolute injection timestamp.
+                    packet.created_at = network.now
+                    network.inject(packet)
+            network.cycle()
+            if network.now % epoch == 0:
+                self._epoch_boundary(learn)
+
+    def run_until_drained(
+        self,
+        source: TrafficSource,
+        source_exhausted,
+        learn: bool = True,
+        time_origin: Optional[int] = None,
+    ) -> int:
+        """Inject a finite source and run until every message delivers.
+
+        ``source_exhausted`` is a zero-argument callable (the replayer's
+        ``exhausted`` flag).  Returns the cycles the whole trace took —
+        the execution-time metric of Fig. 7.
+        """
+        network = self.network
+        epoch = self.config.epoch_cycles
+        origin = network.now if time_origin is None else time_origin
+        start = network.now
+        while not (source_exhausted() and network.quiescent):
+            for packet in source.packets_for_cycle(network.now - origin):
+                packet.created_at = network.now
+                network.inject(packet)
+            network.cycle()
+            if network.now % epoch == 0:
+                self._epoch_boundary(learn)
+            if network.now - start > self.config.max_drain_cycles:
+                raise RuntimeError(
+                    "trace failed to drain within max_drain_cycles "
+                    f"({self.config.max_drain_cycles})"
+                )
+        return network.now - start
+
+    # ------------------------------------------------------------------
+    # Paper phases
+    # ------------------------------------------------------------------
+    def pretrain(self, cycles: Optional[int] = None) -> None:
+        """Section V-B pre-training on synthetic traffic.
+
+        The synthetic phase sweeps three load levels (light, nominal,
+        heavy) so the learning policies visit the cool/quiet *and*
+        hot/error-prone regions of the Table I state space before any
+        application trace runs — the role the paper's 1M-cycle synthetic
+        phase plays at full scale.
+
+        Within each load level, the first part of the segment is a
+        *curriculum*: the whole mesh is pinned to each operation mode in
+        turn, so the (off-policy) Q-learning updates sample every action
+        under consistent network-wide behaviour.  Without this, epsilon-
+        greedy exploration in a shortened run cannot separate an action's
+        effect from the congestion caused by 63 other exploring routers.
+        The remainder of each segment runs free epsilon-greedy control.
+        """
+        cycles = self.config.pretrain_cycles if cycles is None else cycles
+        if cycles <= 0 or not self.policy.trainable:
+            return
+        base = self.config.pretrain_injection_rate
+        segments = [0.6 * base, base, 2.2 * base]
+        span = cycles // len(segments)
+        curriculum_share = 0.6
+        forced_span = int(span * curriculum_share) // len(OperationMode)
+        for i, rate in enumerate(segments):
+            source = SyntheticTraffic(
+                self.network.topology,
+                pattern=self.config.pretrain_pattern,
+                injection_rate=min(rate, 1.0),
+                packet_size=self.config.packet_size,
+                flit_bits=self.config.flit_bits,
+                rng=random.Random(self.seed + 101 + i),
+            )
+            free_span = span - forced_span * len(OperationMode)
+            for mode in OperationMode:
+                self.forced_mode = mode
+                self.run_cycles(source, forced_span, learn=True)
+            self.forced_mode = None
+            self.run_cycles(source, free_span, learn=True)
+        # Let in-flight pretraining packets drain before the next phase.
+        while not self.network.quiescent:
+            self.network.cycle()
+            if self.network.now % self.config.epoch_cycles == 0:
+                self._epoch_boundary(learn=True)
+
+    def warmup(self, cycles: Optional[int] = None) -> None:
+        """Section V-B warm-up period (no measurement)."""
+        cycles = self.config.warmup_cycles if cycles is None else cycles
+        if cycles <= 0:
+            return
+        source = SyntheticTraffic(
+            self.network.topology,
+            pattern=self.config.pretrain_pattern,
+            injection_rate=self.config.pretrain_injection_rate,
+            packet_size=self.config.packet_size,
+            flit_bits=self.config.flit_bits,
+            rng=random.Random(self.seed + 202),
+        )
+        self.run_cycles(source, cycles, learn=True)
+
+    def measure_trace(self, records: List[TraceRecord], benchmark: str) -> RunResult:
+        """The measured testing phase: replay a trace to completion."""
+        replayer = TraceReplayer(
+            records,
+            self.network.topology,
+            flit_bits=self.config.flit_bits,
+            rng=random.Random(self.seed + 303),
+        )
+        before = StatsSnapshot(self.network.stats)
+        self._measuring = True
+        self._measured_dynamic_pj = 0.0
+        self._measured_static_pj = 0.0
+        self._measured_epochs = 0
+        self._measured_temp_sum = 0.0
+        self._measured_error_sum = 0.0
+
+        execution = self.run_until_drained(
+            replayer, lambda: replayer.exhausted, learn=True
+        )
+        partial = self.network.now % self.config.epoch_cycles
+        if partial:
+            # Fold the final partial epoch into the measurement window.
+            self._epoch_boundary(learn=True, span=partial)
+
+        self._measuring = False
+        after = StatsSnapshot(self.network.stats)
+        window = before.delta(after)
+        epochs = max(self._measured_epochs, 1)
+        return RunResult(
+            design=self.policy.name,
+            benchmark=benchmark,
+            execution_cycles=execution,
+            mean_latency=window["mean_latency"],
+            packets_delivered=int(window["packets_delivered"]),
+            flits_delivered=int(window["flits_delivered"]),
+            packet_retransmissions=int(window["packet_retransmissions"]),
+            flit_retransmissions=int(window["flit_retransmissions"]),
+            corrected_errors=int(window["corrected_errors"]),
+            escaped_errors=int(window["escaped_errors"]),
+            silent_corruptions=int(window["silent_corruptions"]),
+            duplicate_flits=int(window["duplicate_flits"]),
+            dynamic_energy_pj=self._measured_dynamic_pj,
+            static_energy_pj=self._measured_static_pj,
+            clock_hz=self.config.clock_hz,
+            mode_cycles=window["mode_cycles"],
+            mean_temperature=self._measured_temp_sum / epochs,
+            mean_error_probability=self._measured_error_sum / epochs,
+        )

@@ -1,0 +1,22 @@
+"""Workload substrate: synthetic patterns, traces, PARSEC-like synthesis."""
+
+from repro.traffic.parsec import (
+    PARSEC_PROFILES,
+    BenchmarkProfile,
+    ParsecTraceSynthesizer,
+)
+from repro.traffic.synthetic import PATTERNS, SyntheticTraffic, destination_for
+from repro.traffic.trace import TraceRecord, TraceReplayer, load_trace, save_trace
+
+__all__ = [
+    "PARSEC_PROFILES",
+    "BenchmarkProfile",
+    "ParsecTraceSynthesizer",
+    "PATTERNS",
+    "SyntheticTraffic",
+    "destination_for",
+    "TraceRecord",
+    "TraceReplayer",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,66 @@
+"""Tests for the control-policy interface and the reward function."""
+
+import pytest
+
+from repro.core.controller import ControlPolicy, compute_reward
+from repro.core.modes import OperationMode
+from repro.core.state import RouterObservation
+from repro.power.orion import DesignPowerProfile
+
+
+class TestReward:
+    def test_paper_equation_3(self):
+        """r = [E2E_latency * Power]^-1."""
+        assert compute_reward(20.0, 0.005) == pytest.approx(1.0 / (20.0 * 0.005))
+
+    def test_lower_latency_is_better(self):
+        assert compute_reward(10.0, 0.01) > compute_reward(100.0, 0.01)
+
+    def test_lower_power_is_better(self):
+        assert compute_reward(10.0, 0.001) > compute_reward(10.0, 0.01)
+
+    def test_floors_keep_reward_finite(self):
+        assert compute_reward(0.0, 0.0) < float("inf")
+        assert compute_reward(-5.0, -1.0) > 0.0
+
+
+class _CountingPolicy(ControlPolicy):
+    """Minimal concrete policy for exercising the ABC defaults."""
+
+    def __init__(self):
+        self.profile = DesignPowerProfile.crc()
+        self.learn_calls = 0
+
+    def select(self, router_id, observation):
+        return OperationMode.MODE_0
+
+
+def _obs(router_id=0):
+    return RouterObservation(
+        router_id=router_id,
+        occupied_vcs=[0] * 5,
+        input_utilization=[0.0] * 5,
+        output_utilization=[0.0] * 5,
+        input_nack_rate=[0.0] * 5,
+        output_nack_rate=[0.0] * 5,
+        temperature=50.0,
+        discrete=(0,),
+    )
+
+
+class TestPolicyInterface:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            ControlPolicy()
+
+    def test_defaults_are_no_ops(self):
+        policy = _CountingPolicy()
+        policy.reset(16)
+        policy.learn(0, _obs(), OperationMode.MODE_0, 1.0, _obs())
+        policy.freeze()
+        assert not policy.trainable
+        assert policy.name == "crc"
+
+    def test_select_is_required(self):
+        policy = _CountingPolicy()
+        assert policy.select(3, _obs(3)) is OperationMode.MODE_0

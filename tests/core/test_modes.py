@@ -1,0 +1,56 @@
+"""Tests for the four operation modes and their behaviour table."""
+
+from repro.core.modes import MODE_BEHAVIOUR, OperationMode
+
+
+class TestActionSpace:
+    def test_four_modes(self):
+        assert len(OperationMode) == 4
+        assert [int(m) for m in OperationMode] == [0, 1, 2, 3]
+
+    def test_every_mode_has_behaviour(self):
+        assert set(MODE_BEHAVIOUR) == set(OperationMode)
+
+
+class TestModeSemantics:
+    def test_mode0_disables_ecc(self):
+        b = MODE_BEHAVIOUR[OperationMode.MODE_0]
+        assert not b.ecc_enabled
+        assert not b.pre_retransmit
+        assert b.extra_cycles_before_send == 0
+        assert not b.timing_relaxed
+
+    def test_mode1_enables_ecc_only(self):
+        b = MODE_BEHAVIOUR[OperationMode.MODE_1]
+        assert b.ecc_enabled
+        assert not b.pre_retransmit
+        assert b.extra_cycles_before_send == 0
+
+    def test_mode2_adds_pre_retransmission(self):
+        b = MODE_BEHAVIOUR[OperationMode.MODE_2]
+        assert b.ecc_enabled
+        assert b.pre_retransmit
+        assert not b.timing_relaxed
+
+    def test_mode3_relaxes_timing_with_two_stalls(self):
+        """Section III: one control cycle + one stall cycle before send."""
+        b = MODE_BEHAVIOUR[OperationMode.MODE_3]
+        assert b.ecc_enabled
+        assert b.timing_relaxed
+        assert b.extra_cycles_before_send == 2
+        assert not b.pre_retransmit
+
+
+class TestLinkOccupancy:
+    def test_slots_per_flit(self):
+        assert MODE_BEHAVIOUR[OperationMode.MODE_0].link_slots_per_flit == 1
+        assert MODE_BEHAVIOUR[OperationMode.MODE_1].link_slots_per_flit == 1
+        # mode 2: original + duplicate
+        assert MODE_BEHAVIOUR[OperationMode.MODE_2].link_slots_per_flit == 2
+        # mode 3: two stall cycles + the transfer
+        assert MODE_BEHAVIOUR[OperationMode.MODE_3].link_slots_per_flit == 3
+
+    def test_throughput_cost_ordering(self):
+        """Heavier protection never increases raw link throughput."""
+        slots = [MODE_BEHAVIOUR[m].link_slots_per_flit for m in OperationMode]
+        assert slots[0] <= slots[1] <= slots[2] <= slots[3]

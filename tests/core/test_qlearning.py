@@ -1,0 +1,143 @@
+"""Tests for the tabular Q-learning agent."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qlearning import QLearningAgent
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QLearningAgent(0)
+        with pytest.raises(ValueError):
+            QLearningAgent(4, alpha=0.0)
+        with pytest.raises(ValueError):
+            QLearningAgent(4, alpha=1.5)
+        with pytest.raises(ValueError):
+            QLearningAgent(4, gamma=-0.1)
+        with pytest.raises(ValueError):
+            QLearningAgent(4, epsilon=2.0)
+
+    def test_unvisited_state_has_init_values(self):
+        agent = QLearningAgent(4, q_init=0.5)
+        assert agent.q_values("s") == (0.5,) * 4
+        assert agent.states_visited == 0
+
+
+class TestUpdate:
+    def test_td_rule_exact(self):
+        """Q <- (1-a)Q + a(r + g max Q') — paper equation 2, by hand."""
+        agent = QLearningAgent(2, alpha=0.5, gamma=0.5, epsilon=0.0)
+        agent.update("a", 0, reward=4.0, next_state="b")
+        # Q(a,0) = 0.5*0 + 0.5*(4 + 0.5*0) = 2
+        assert agent.q_values("a")[0] == pytest.approx(2.0)
+        agent.update("b", 1, reward=2.0, next_state="a")
+        # Q(b,1) = 0.5*(2 + 0.5*2) = 1.5
+        assert agent.q_values("b")[1] == pytest.approx(1.5)
+
+    def test_update_rejects_bad_action(self):
+        agent = QLearningAgent(2)
+        with pytest.raises(ValueError):
+            agent.update("s", 5, 1.0, "s")
+
+    def test_update_counter(self):
+        agent = QLearningAgent(2)
+        for _ in range(7):
+            agent.update("s", 0, 1.0, "s")
+        assert agent.updates == 7
+
+
+class TestSelection:
+    def test_greedy_picks_argmax(self):
+        agent = QLearningAgent(3, alpha=1.0, gamma=0.0, epsilon=0.0)
+        agent.update("s", 0, 1.0, "t")
+        agent.update("s", 1, 5.0, "t")
+        agent.update("s", 2, 3.0, "t")
+        assert agent.best_action("s") == 1
+        assert agent.select_action("s") == 1
+
+    def test_epsilon_one_is_uniform_random(self):
+        agent = QLearningAgent(4, epsilon=1.0, rng=random.Random(3))
+        agent.update("s", 0, 100.0, "s")
+        picks = {agent.select_action("s") for _ in range(100)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_epsilon_zero_never_explores(self):
+        agent = QLearningAgent(4, epsilon=0.0, rng=random.Random(3))
+        agent.update("s", 2, 10.0, "s")
+        assert all(agent.select_action("s") == 2 for _ in range(50))
+
+    def test_tie_break_is_uniform_not_action_zero(self):
+        agent = QLearningAgent(4, epsilon=0.0, rng=random.Random(5))
+        picks = {agent.best_action("fresh") for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+
+class TestConvergence:
+    def test_learns_two_armed_bandit(self):
+        """Single state, arm 1 pays more: greedy policy converges to it."""
+        rng = random.Random(0)
+        agent = QLearningAgent(2, alpha=0.1, gamma=0.0, epsilon=0.3, rng=rng)
+        for _ in range(500):
+            action = agent.select_action("s")
+            reward = (2.0 if action == 1 else 1.0) + rng.gauss(0, 0.1)
+            agent.update("s", action, reward, "s")
+        assert agent.best_action("s") == 1
+
+    def test_learns_chain_mdp(self):
+        """Two-state chain: action 1 moves to the rewarding state.
+
+        States: 'low' (reward 0 staying via action 0, move via action 1),
+        'high' (reward 1 on every action, absorbing).  With gamma=0.9
+        the optimal policy at 'low' is action 1.
+        """
+        rng = random.Random(1)
+        agent = QLearningAgent(2, alpha=0.2, gamma=0.9, epsilon=0.2, rng=rng)
+        state = "low"
+        for _ in range(2000):
+            action = agent.select_action(state)
+            if state == "low":
+                reward, next_state = (0.0, "high") if action == 1 else (0.1, "low")
+            else:
+                reward, next_state = 1.0, "high"
+            agent.update(state, action, reward, next_state)
+            state = next_state
+            if rng.random() < 0.05:
+                state = "low"  # occasional reset to keep visiting 'low'
+        assert agent.best_action("low") == 1
+
+    def test_greedy_policy_snapshot(self):
+        agent = QLearningAgent(2, alpha=1.0, gamma=0.0, epsilon=0.0)
+        agent.update("a", 1, 5.0, "a")
+        agent.update("b", 0, 5.0, "b")
+        assert agent.greedy_policy() == {"a": 1, "b": 0}
+
+
+class TestAnnealing:
+    def test_set_epsilon_and_alpha(self):
+        agent = QLearningAgent(2)
+        agent.set_epsilon(0.5)
+        agent.set_alpha(0.9)
+        assert agent.epsilon == 0.5 and agent.alpha == 0.9
+        with pytest.raises(ValueError):
+            agent.set_epsilon(-0.1)
+        with pytest.raises(ValueError):
+            agent.set_alpha(0.0)
+
+
+@settings(max_examples=100)
+@given(
+    rewards=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40),
+    gamma=st.floats(min_value=0.0, max_value=0.99),
+)
+def test_property_q_values_bounded_by_return(rewards, gamma):
+    """Q never exceeds max_reward / (1 - gamma) for non-negative rewards."""
+    agent = QLearningAgent(2, alpha=0.5, gamma=gamma, epsilon=0.0)
+    bound = max(rewards) / (1.0 - gamma) + 1e-9
+    for i, r in enumerate(rewards):
+        agent.update("s", i % 2, r, "s")
+        assert all(0.0 <= q <= bound for q in agent.q_values("s"))

@@ -1,0 +1,110 @@
+"""Tests for the Table I state features and discretization."""
+
+import pytest
+
+from repro.core.state import DiscretizationConfig, observe_router
+from repro.noc import MeshTopology, Packet, Port, Router
+from repro.noc.routing import xy_route
+
+
+def make_router(num_vcs=4):
+    return Router(5, MeshTopology(4, 4), xy_route, num_vcs=num_vcs, vc_depth=4)
+
+
+class TestBins:
+    def test_utilization_bins_linear_to_max(self):
+        cfg = DiscretizationConfig()
+        # Five bins over [0, 0.3] flits/cycle (paper's observed max).
+        assert cfg.utilization_bin(0.0) == 0
+        assert cfg.utilization_bin(0.05) == 0
+        assert cfg.utilization_bin(0.07) == 1
+        assert cfg.utilization_bin(0.15) == 2
+        assert cfg.utilization_bin(0.29) == 4
+        assert cfg.utilization_bin(0.9) == 4  # clamps above the max
+
+    def test_nack_bins_log_space(self):
+        cfg = DiscretizationConfig()
+        assert cfg.nack_bin(0.0) == 0
+        assert cfg.nack_bin(5e-4) == 0
+        assert cfg.nack_bin(5e-3) == 1
+        assert cfg.nack_bin(5e-2) == 2
+        assert cfg.nack_bin(0.5) == 3
+
+    def test_temperature_bins_cover_paper_range(self):
+        cfg = DiscretizationConfig()
+        # Five even bins over the observed [50, 100] C range.
+        assert cfg.temperature_bin(45.0) == 0
+        assert cfg.temperature_bin(55.0) == 0
+        assert cfg.temperature_bin(65.0) == 1
+        assert cfg.temperature_bin(75.0) == 2
+        assert cfg.temperature_bin(85.0) == 3
+        assert cfg.temperature_bin(95.0) == 4
+        assert cfg.temperature_bin(120.0) == 4
+
+    def test_buffer_bins(self):
+        cfg = DiscretizationConfig(num_vcs=4)
+        assert cfg.buffer_bin(0) == 0
+        assert cfg.buffer_bin(4) == 4
+        assert 0 < cfg.buffer_bin(2) < 4
+
+
+class TestObservation:
+    def test_feature_set_matches_table_i(self):
+        """Table I: six feature classes, features 1-5 per-port."""
+        obs = observe_router(make_router(), epoch_cycles=100)
+        assert len(obs.occupied_vcs) == 5
+        assert len(obs.input_utilization) == 5
+        assert len(obs.output_utilization) == 5
+        assert len(obs.input_nack_rate) == 5
+        assert len(obs.output_nack_rate) == 5
+        assert isinstance(obs.temperature, float)
+
+    def test_raw_vector_dimension(self):
+        obs = observe_router(make_router(), epoch_cycles=100)
+        assert len(obs.raw_vector()) == 26  # 5 features x 5 ports + temp
+
+    def test_compact_state_shape(self):
+        obs = observe_router(make_router(), epoch_cycles=100, compact=True)
+        assert len(obs.discrete) == 7  # 6 aggregates + current mode
+
+    def test_full_state_shape(self):
+        obs = observe_router(make_router(), epoch_cycles=100, compact=False)
+        assert len(obs.discrete) == 27  # 26 per-port bins + current mode
+
+    def test_mode_can_be_excluded(self):
+        obs = observe_router(
+            make_router(), epoch_cycles=100, compact=True, include_mode=False
+        )
+        assert len(obs.discrete) == 6
+
+    def test_rejects_empty_epoch(self):
+        with pytest.raises(ValueError):
+            observe_router(make_router(), epoch_cycles=0)
+
+    def test_counters_flow_into_features(self):
+        router = make_router()
+        router.epoch.flits_in[int(Port.EAST)] = 30
+        router.epoch.flits_out[int(Port.WEST)] = 20
+        router.epoch.nacks_in[int(Port.WEST)] = 2
+        router.epoch.nacks_out[int(Port.EAST)] = 3
+        router.temperature = 88.0
+        obs = observe_router(router, epoch_cycles=100)
+        assert obs.input_utilization[int(Port.EAST)] == pytest.approx(0.3)
+        assert obs.output_utilization[int(Port.WEST)] == pytest.approx(0.2)
+        assert obs.input_nack_rate[int(Port.WEST)] == pytest.approx(2 / 20)
+        assert obs.output_nack_rate[int(Port.EAST)] == pytest.approx(3 / 30)
+        assert obs.temperature == 88.0
+        # And into the discrete key: temp 88 -> bin 3, mode 0 appended.
+        assert obs.discrete[5] == 3
+        assert obs.discrete[6] == 0
+
+    def test_occupied_vcs_feature(self):
+        router = make_router()
+        packet = Packet(0, 5, 2, 128, 0)
+        router.try_inject_head(packet.flits[0], now=0)
+        obs = observe_router(router, epoch_cycles=100)
+        assert obs.occupied_vcs[int(Port.LOCAL)] == 1
+
+    def test_discrete_state_is_hashable_key(self):
+        obs = observe_router(make_router(), epoch_cycles=100)
+        {obs.discrete: 1}  # must not raise

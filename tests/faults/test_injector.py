@@ -1,0 +1,94 @@
+"""Tests for the runtime fault injector."""
+
+import random
+
+import pytest
+
+from repro.faults import FaultInjector, VariusModel
+from repro.noc import MeshTopology, Network
+
+
+def make_setup(size=4):
+    net = Network(MeshTopology(size, size), rng=random.Random(0))
+    varius = VariusModel(size, size, seed=2)
+    return net, varius
+
+
+class TestConstruction:
+    def test_rejects_grid_mismatch(self):
+        net, _ = make_setup(4)
+        with pytest.raises(ValueError):
+            FaultInjector(net, VariusModel(2, 2))
+
+    def test_rejects_negative_scale(self):
+        net, varius = make_setup()
+        with pytest.raises(ValueError):
+            FaultInjector(net, varius, error_scale=-1.0)
+
+
+class TestRefresh:
+    def test_refresh_applies_to_every_channel(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius)
+        injector.refresh([90.0] * 16)
+        for _, model in net.channel_models():
+            assert model.event_probability > 0.0
+            assert 0.0 <= model.relax_factor < 1e-4
+
+    def test_hotter_die_means_more_errors(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius)
+        injector.refresh([55.0] * 16)
+        cool = injector.mean_probability()
+        injector.refresh([95.0] * 16)
+        hot = injector.mean_probability()
+        assert hot > 10 * cool
+
+    def test_probability_tracks_upstream_router(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius)
+        temps = [50.0] * 16
+        temps[5] = 100.0
+        injector.refresh(temps)
+        hot_channels = {k: p for k, p in injector.current.items() if k[0] == 5}
+        cold_channels = {k: p for k, p in injector.current.items() if k[0] == 10}
+        assert min(hot_channels.values()) > max(cold_channels.values())
+
+    def test_error_scale_multiplies(self):
+        net, varius = make_setup()
+        plain = FaultInjector(net, varius)
+        plain.refresh([80.0] * 16)
+        baseline = plain.mean_probability()
+        scaled = FaultInjector(net, varius, error_scale=3.0)
+        scaled.refresh([80.0] * 16)
+        assert abs(scaled.mean_probability() - 3.0 * baseline) < 1e-9
+
+    def test_scale_clamps_at_one(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius, error_scale=1e9)
+        injector.refresh([100.0] * 16)
+        assert max(injector.current.values()) <= 1.0
+
+    def test_rejects_wrong_temperature_count(self):
+        net, varius = make_setup()
+        with pytest.raises(ValueError):
+            FaultInjector(net, varius).refresh([50.0] * 3)
+
+
+class TestUniform:
+    def test_set_uniform(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius)
+        injector.set_uniform(0.07)
+        assert all(p == 0.07 for p in injector.current.values())
+        for _, model in net.channel_models():
+            assert model.event_probability == 0.07
+
+    def test_rejects_invalid_probability(self):
+        net, varius = make_setup()
+        with pytest.raises(ValueError):
+            FaultInjector(net, varius).set_uniform(1.5)
+
+    def test_mean_probability_empty(self):
+        net, varius = make_setup()
+        assert FaultInjector(net, varius).mean_probability() == 0.0

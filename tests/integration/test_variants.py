@@ -1,0 +1,106 @@
+"""Integration tests for platform variants beyond the paper's defaults:
+torus topology, YX routing, alternate packet geometry, and trace file
+round trips through a live simulation."""
+
+import random
+
+import pytest
+
+from repro.baselines import crc_policy
+from repro.core.modes import OperationMode
+from repro.noc import MeshTopology, Network, Packet
+from repro.noc.routing import yx_route
+from repro.power import CorePowerParams
+from repro.sim import Simulator, scaled_config
+from repro.traffic import ParsecTraceSynthesizer, PARSEC_PROFILES, load_trace, save_trace
+
+
+def run_uniform(net, n_packets=100, seed=5, size=4):
+    rng = random.Random(seed)
+    n = net.topology.num_nodes
+    created = 0
+    while created < n_packets or not net.quiescent:
+        if created < n_packets and net.now % 2 == 0:
+            src, dst = rng.randrange(n), rng.randrange(n)
+            if src != dst:
+                net.inject(Packet(src, dst, size, net.flit_bits, net.now))
+                created += 1
+        net.cycle()
+        assert net.now < 100_000
+    net.harvest_epoch_counters(1)
+    return net.stats
+
+
+class TestTorus:
+    def test_torus_delivers_traffic(self):
+        net = Network(MeshTopology(4, 4, torus=True), rng=random.Random(1))
+        stats = run_uniform(net, 120)
+        assert stats.packets_delivered == 120
+
+    def test_torus_under_errors_with_ecc(self):
+        net = Network(MeshTopology(4, 4, torus=True), rng=random.Random(1))
+        net.set_all_modes(OperationMode.MODE_1)
+        for _, model in net.channel_models():
+            model.event_probability = 0.05
+        stats = run_uniform(net, 100)
+        assert stats.packets_delivered == 100
+        assert stats.corrected_errors > 0
+
+
+class TestYXRouting:
+    def test_yx_network_delivers(self):
+        net = Network(MeshTopology(4, 4), routing_fn=yx_route, rng=random.Random(2))
+        stats = run_uniform(net, 100)
+        assert stats.packets_delivered == 100
+
+    def test_yx_config_through_simulator(self):
+        config = scaled_config(
+            width=3, height=3, routing="yx",
+            epoch_cycles=100, pretrain_cycles=0, warmup_cycles=200,
+        )
+        sim = Simulator(config, crc_policy(), seed=3)
+        sim.warmup()
+        assert sim.network.stats.packets_delivered > 0
+
+
+class TestPacketGeometry:
+    @pytest.mark.parametrize("size,bits", [(1, 32), (2, 64), (8, 128)])
+    def test_alternate_packet_shapes(self, size, bits):
+        net = Network(MeshTopology(3, 3), flit_bits=bits, rng=random.Random(4))
+        net.set_all_modes(OperationMode.MODE_2)
+        for _, model in net.channel_models():
+            model.event_probability = 0.05
+        stats = run_uniform(net, 60, size=size)
+        assert stats.packets_delivered == 60
+        assert stats.flits_delivered == 60 * size
+
+
+class TestTraceFileRoundTrip:
+    def test_synthesized_trace_survives_disk_and_replay(self, tmp_path):
+        config = scaled_config(
+            width=3, height=3, epoch_cycles=100, pretrain_cycles=0, warmup_cycles=0
+        )
+        topo = MeshTopology(3, 3)
+        records = ParsecTraceSynthesizer(
+            PARSEC_PROFILES["dedup"], topo, random.Random(6)
+        ).synthesize(500)
+        path = tmp_path / "dedup.trace"
+        save_trace(records, path)
+        loaded = load_trace(path)
+        assert loaded == sorted(records)
+
+        sim = Simulator(config, crc_policy(), seed=6)
+        result = sim.measure_trace(loaded, "dedup-from-file")
+        assert result.packets_delivered == len(loaded)
+
+
+class TestCorePowerParams:
+    def test_monotone_and_capped(self):
+        params = CorePowerParams()
+        assert params.core_power(0.0) == params.idle_watts
+        assert params.core_power(0.1) > params.core_power(0.0)
+        assert params.core_power(10.0) == params.max_watts
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            CorePowerParams().core_power(-0.1)

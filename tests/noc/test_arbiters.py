@@ -1,0 +1,87 @@
+"""Tests for round-robin and matrix arbiters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import MatrixArbiter, RoundRobinArbiter
+
+
+@pytest.mark.parametrize("cls", [RoundRobinArbiter, MatrixArbiter])
+class TestCommonBehaviour:
+    def test_rejects_zero_size(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+
+    def test_no_request_no_grant(self, cls):
+        assert cls(4).grant([False] * 4) is None
+
+    def test_single_request_granted(self, cls):
+        arb = cls(4)
+        assert arb.grant([False, False, True, False]) == 2
+
+    def test_grant_is_a_requester(self, cls):
+        arb = cls(8)
+        requests = [True, False, True, False, True, False, False, True]
+        for _ in range(20):
+            g = arb.grant(requests)
+            assert requests[g]
+
+    def test_wrong_width_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(4).grant([True] * 5)
+
+    def test_reset(self, cls):
+        arb = cls(4)
+        arb.grant([True] * 4)
+        arb.reset()
+        assert arb.grant([True] * 4) == 0
+
+
+class TestRoundRobinFairness:
+    def test_all_requesters_rotate(self):
+        arb = RoundRobinArbiter(4)
+        grants = [arb.grant([True] * 4) for _ in range(8)]
+        assert grants == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_winner_gets_lowest_priority(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([True, False, False, True]) == 0
+        # 0 just won; with 0 and 3 requesting, 3 must win now
+        assert arb.grant([True, False, False, True]) == 3
+
+
+class TestMatrixFairness:
+    def test_least_recently_served_wins(self):
+        arb = MatrixArbiter(3)
+        assert arb.grant([True, True, True]) == 0
+        assert arb.grant([True, True, True]) == 1
+        assert arb.grant([True, True, True]) == 2
+        assert arb.grant([True, True, True]) == 0
+
+    def test_winner_demoted_below_non_requesters(self):
+        arb = MatrixArbiter(3)
+        arb.grant([False, True, False])  # 1 wins, demoted below 0 and 2
+        assert arb.grant([True, True, False]) == 0
+
+
+@pytest.mark.parametrize("cls", [RoundRobinArbiter, MatrixArbiter])
+@settings(max_examples=100)
+@given(data=st.data())
+def test_property_no_starvation(cls, data):
+    """A persistent requester is served within ``size`` grants."""
+    size = data.draw(st.integers(min_value=1, max_value=8))
+    arb = cls(size)
+    persistent = data.draw(st.integers(min_value=0, max_value=size - 1))
+    waits = 0
+    for _ in range(size * 3):
+        others = data.draw(
+            st.lists(st.booleans(), min_size=size, max_size=size)
+        )
+        requests = list(others)
+        requests[persistent] = True
+        if arb.grant(requests) == persistent:
+            waits = 0
+        else:
+            waits += 1
+        assert waits <= size, "persistent requester starved"

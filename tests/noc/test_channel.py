@@ -1,0 +1,130 @@
+"""Tests for channels, transmissions, and the channel error model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.arq import AckKind, AckMessage
+from repro.noc import Channel, ChannelErrorModel, MeshTopology, Packet, Transmission
+from repro.noc.topology import ChannelSpec, Port
+
+
+def make_channel(latency=1, p=0.0, severity=(0.33, 0.47, 0.20), seed=0):
+    spec = ChannelSpec(0, Port.EAST, 1, Port.WEST)
+    model = ChannelErrorModel(random.Random(seed), 128, p, severity)
+    return Channel(spec, latency, model)
+
+
+def flit():
+    return Packet(0, 1, 1, 128, 0).flits[0]
+
+
+class TestErrorModel:
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            ChannelErrorModel(rng, 128, event_probability=1.5)
+        with pytest.raises(ValueError):
+            ChannelErrorModel(rng, 128, severity=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            ChannelErrorModel(rng, 128, severity=(-0.1, 0.9, 0.2))
+
+    def test_zero_probability_never_errors(self):
+        model = ChannelErrorModel(random.Random(1), 128, 0.0)
+        assert all(model.sample_error_bits(False) == 0 for _ in range(500))
+
+    def test_certain_probability_always_errors(self):
+        model = ChannelErrorModel(random.Random(1), 128, 1.0)
+        assert all(model.sample_error_bits(False) >= 1 for _ in range(200))
+
+    def test_severity_mix_statistics(self):
+        model = ChannelErrorModel(
+            random.Random(2), 128, 1.0, severity=(0.5, 0.3, 0.2)
+        )
+        counts = {1: 0, 2: 0, 3: 0}
+        n = 3000
+        for _ in range(n):
+            counts[model.sample_error_bits(False)] += 1
+        assert abs(counts[1] / n - 0.5) < 0.05
+        assert abs(counts[2] / n - 0.3) < 0.05
+        assert abs(counts[3] / n - 0.2) < 0.05
+
+    def test_relaxation_scales_probability(self):
+        model = ChannelErrorModel(
+            random.Random(3), 128, 0.5, relax_factor=0.0
+        )
+        assert all(model.sample_error_bits(True) == 0 for _ in range(300))
+        assert any(model.sample_error_bits(False) > 0 for _ in range(100))
+
+    def test_mask_has_exact_weight(self):
+        model = ChannelErrorModel(random.Random(4), 128, 1.0)
+        for k in (1, 2, 3):
+            mask = model.sample_mask(k)
+            assert bin(mask).count("1") == k
+            assert mask < (1 << 128)
+
+
+class TestChannel:
+    def test_rejects_zero_latency(self):
+        spec = ChannelSpec(0, Port.EAST, 1, Port.WEST)
+        with pytest.raises(ValueError):
+            Channel(spec, 0, ChannelErrorModel(random.Random(0), 128))
+
+    def test_data_delivery_at_arrival_time(self):
+        ch = make_channel()
+        t = Transmission(flit(), None, 0, False, False, False, arrive_at=5)
+        ch.send(t)
+        assert ch.pop_arrivals(4) == []
+        assert ch.pop_arrivals(5) == [t]
+        assert ch.pop_arrivals(5) == []  # consumed
+        assert not ch.busy
+
+    def test_arrivals_sorted_by_time(self):
+        ch = make_channel()
+        late = Transmission(flit(), None, 0, False, False, False, arrive_at=7)
+        early = Transmission(flit(), None, 0, False, False, False, arrive_at=5)
+        ch.send(late)
+        ch.send(early)
+        assert ch.pop_arrivals(10) == [early, late]
+
+    def test_ack_and_credit_sideband(self):
+        ch = make_channel()
+        ch.send_ack(AckMessage(3, AckKind.ACK), deliver_at=2)
+        ch.send_ack(AckMessage(4, AckKind.NACK), deliver_at=3)
+        ch.send_credit(1, deliver_at=2)
+        assert ch.pop_acks(1) == []
+        assert [m.seq for m in ch.pop_acks(2)] == [3]
+        assert ch.pop_credits(2) == [1]
+        assert [m.seq for m in ch.pop_acks(3)] == [4]
+        assert not ch.busy
+
+    def test_busy_reflects_any_traffic(self):
+        ch = make_channel()
+        assert not ch.busy
+        ch.send_credit(0, 1)
+        assert ch.busy
+        ch.pop_credits(1)
+        assert not ch.busy
+
+
+class TestTransmission:
+    def test_fields(self):
+        f = flit()
+        t = Transmission(f, 9, 2, True, True, False, 11, paired=True)
+        assert t.flit is f
+        assert t.seq == 9 and t.vc == 2
+        assert t.protected and t.relaxed and not t.duplicate and t.paired
+
+
+@settings(max_examples=80)
+@given(
+    p=st.floats(min_value=0.0, max_value=1.0),
+    relaxed=st.booleans(),
+)
+def test_property_error_bits_in_range(p, relaxed):
+    model = ChannelErrorModel(random.Random(5), 64, p)
+    for _ in range(20):
+        bits = model.sample_error_bits(relaxed)
+        assert bits in (0, 1, 2, 3)

@@ -1,0 +1,116 @@
+"""Tests for XY / YX routing functions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import MeshTopology, Port, minimal_ports, xy_route, yx_route
+from repro.noc.routing import make_o1turn_route
+
+
+def _walk(topology, route_fn, src, dest, limit=64):
+    """Follow a routing function hop by hop; returns the path."""
+    node = src
+    path = [node]
+    for _ in range(limit):
+        if node == dest:
+            return path
+        port = route_fn(topology, node, dest)
+        node = topology.neighbour(node, port)
+        assert node is not None, "routing walked off the mesh"
+        path.append(node)
+    raise AssertionError("routing did not reach the destination")
+
+
+class TestXY:
+    def test_local_at_destination(self):
+        topo = MeshTopology(4, 4)
+        assert xy_route(topo, 5, 5) is Port.LOCAL
+
+    def test_x_first(self):
+        topo = MeshTopology(4, 4)
+        # from (0,0) to (2,2): must go EAST first
+        assert xy_route(topo, 0, topo.node_id(2, 2)) is Port.EAST
+        # from (2,0) to (2,2): x aligned, go NORTH
+        assert xy_route(topo, topo.node_id(2, 0), topo.node_id(2, 2)) is Port.NORTH
+
+    def test_path_is_minimal(self):
+        topo = MeshTopology(4, 4)
+        path = _walk(topo, xy_route, 0, 15)
+        assert len(path) - 1 == topo.hop_distance(0, 15)
+
+    def test_no_yx_turn(self):
+        """XY never turns from a Y direction back into an X direction."""
+        topo = MeshTopology(5, 5)
+        for src in range(25):
+            for dest in range(25):
+                if src == dest:
+                    continue
+                path = _walk(topo, xy_route, src, dest)
+                seen_y = False
+                for a, b in zip(path, path[1:]):
+                    ax, ay = topo.coordinates(a)
+                    bx, by = topo.coordinates(b)
+                    if ay != by:
+                        seen_y = True
+                    if ax != bx:
+                        assert not seen_y, f"YX turn on path {path}"
+
+
+class TestYX:
+    def test_y_first(self):
+        topo = MeshTopology(4, 4)
+        assert yx_route(topo, 0, topo.node_id(2, 2)) is Port.NORTH
+
+    def test_reaches_destination(self):
+        topo = MeshTopology(4, 4)
+        for src, dest in [(0, 15), (3, 12), (5, 10)]:
+            path = _walk(topo, yx_route, src, dest)
+            assert path[-1] == dest
+
+
+class TestMinimalPorts:
+    def test_at_destination(self):
+        topo = MeshTopology(4, 4)
+        assert minimal_ports(topo, 7, 7) == [Port.LOCAL]
+
+    def test_diagonal_has_two_choices(self):
+        topo = MeshTopology(4, 4)
+        ports = minimal_ports(topo, 0, topo.node_id(2, 2))
+        assert set(ports) == {Port.EAST, Port.NORTH}
+
+    def test_aligned_has_one_choice(self):
+        topo = MeshTopology(4, 4)
+        assert minimal_ports(topo, 0, 3) == [Port.EAST]
+
+    def test_xy_choice_is_always_minimal(self):
+        topo = MeshTopology(4, 4)
+        for src in range(16):
+            for dest in range(16):
+                if src != dest:
+                    assert xy_route(topo, src, dest) in minimal_ports(topo, src, dest)
+
+
+class TestO1Turn:
+    def test_alternates_between_xy_and_yx(self):
+        topo = MeshTopology(4, 4)
+        route = make_o1turn_route([0, 1])
+        dest = topo.node_id(2, 2)
+        assert route(topo, 0, dest) is Port.EAST   # XY
+        assert route(topo, 0, dest) is Port.NORTH  # YX
+
+
+@settings(max_examples=200)
+@given(
+    w=st.integers(min_value=2, max_value=8),
+    h=st.integers(min_value=2, max_value=8),
+    data=st.data(),
+)
+def test_property_xy_always_delivers_minimally(w, h, data):
+    topo = MeshTopology(w, h)
+    src = data.draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    dest = data.draw(st.integers(min_value=0, max_value=topo.num_nodes - 1))
+    if src == dest:
+        return
+    path = _walk(topo, xy_route, src, dest, limit=w + h)
+    assert path[-1] == dest
+    assert len(path) - 1 == topo.hop_distance(src, dest)

@@ -1,0 +1,56 @@
+"""Tests for the area model — pinned to the paper's Section VI-B numbers."""
+
+import pytest
+
+from repro.power import AreaParams, RouterAreaModel
+
+
+class TestPaperAnchors:
+    def test_rl_added_area(self):
+        assert RouterAreaModel().rl_added_area_um2() == 2360.0
+
+    def test_overhead_vs_crc(self):
+        assert RouterAreaModel().rl_overhead_vs("crc") == pytest.approx(0.055, abs=0.001)
+
+    def test_overhead_vs_arq_ecc(self):
+        assert RouterAreaModel().rl_overhead_vs("arq_ecc") == pytest.approx(0.048, abs=0.001)
+
+    def test_overhead_vs_dt(self):
+        assert RouterAreaModel().rl_overhead_vs("dt") == pytest.approx(0.045, abs=0.001)
+
+
+class TestComposition:
+    def test_design_ordering(self):
+        model = RouterAreaModel()
+        crc = model.design_area_um2("crc")
+        arq = model.design_area_um2("arq_ecc")
+        dt = model.design_area_um2("dt")
+        rl = model.design_area_um2("rl")
+        assert crc < arq < rl < dt  # DT logic is larger than RL logic
+
+    def test_rl_design_is_arq_plus_rl_logic(self):
+        model = RouterAreaModel()
+        assert model.design_area_um2("rl") == pytest.approx(
+            model.design_area_um2("arq_ecc") + 2360.0
+        )
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            RouterAreaModel().design_area_um2("fpga")
+
+    def test_summary_keys(self):
+        summary = RouterAreaModel().summary()
+        assert set(summary) == {
+            "crc_um2",
+            "arq_ecc_um2",
+            "dt_um2",
+            "rl_um2",
+            "rl_added_um2",
+            "overhead_vs_crc",
+            "overhead_vs_arq_ecc",
+            "overhead_vs_dt",
+        }
+
+    def test_custom_params(self):
+        model = RouterAreaModel(AreaParams(rl_logic_um2=4720.0))
+        assert model.rl_overhead_vs("crc") == pytest.approx(0.11, abs=0.002)

@@ -1,0 +1,128 @@
+"""Tests for the ORION-style power/energy model."""
+
+import pytest
+
+from repro.noc.stats import RouterEpochStats
+from repro.power import DesignPowerProfile, EnergyParams, RouterPowerModel
+
+
+def busy_epoch(flits=100):
+    """Epoch counters of a router that forwarded ``flits`` flits east."""
+    stats = RouterEpochStats()
+    stats.buffer_writes = flits
+    stats.buffer_reads = flits
+    stats.crossbar_traversals = flits
+    stats.arbitration_ops = flits
+    stats.flits_out[1] = flits
+    return stats
+
+
+class TestCalibration:
+    def test_baseline_flit_energy_anchor(self):
+        """Paper anchor: baseline router ~13.3 pJ per flit."""
+        model = RouterPowerModel()
+        assert abs(model.baseline_flit_energy_pj() - 13.33) < 0.1
+
+    def test_rl_overhead_fraction_anchor(self):
+        """Paper anchor: RL adds 0.16 pJ/flit = 1.2 % of baseline."""
+        model = RouterPowerModel()
+        assert abs(model.rl_overhead_fraction() - 0.012) < 0.001
+
+
+class TestDynamicEnergy:
+    def test_idle_router_has_zero_dynamic(self):
+        model = RouterPowerModel()
+        e = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.crc(), False, 1000)
+        assert e.dynamic_pj == 0.0
+        assert e.static_pj > 0.0
+
+    def test_dynamic_scales_with_traffic(self):
+        model = RouterPowerModel()
+        light = model.epoch_energy(busy_epoch(10), DesignPowerProfile.crc(), False, 1000)
+        heavy = model.epoch_energy(busy_epoch(100), DesignPowerProfile.crc(), False, 1000)
+        assert abs(heavy.dynamic_pj - 10 * light.dynamic_pj) < 1e-9
+
+    def test_busy_flit_energy_matches_anchor(self):
+        """Per-hop dynamic energy of the event mix ~= the 13.3 pJ anchor
+        minus the NI CRC share (12.73 pJ)."""
+        model = RouterPowerModel()
+        e = model.epoch_energy(busy_epoch(100), DesignPowerProfile.crc(), False, 1000)
+        assert abs(e.dynamic_pj / 100 - 12.73) < 0.01
+
+    def test_rl_per_flit_overhead_applied(self):
+        model = RouterPowerModel()
+        stats = busy_epoch(100)
+        crc = model.epoch_energy(stats, DesignPowerProfile.crc(), False, 1000)
+        rl = model.epoch_energy(stats, DesignPowerProfile.rl(), False, 1000)
+        assert abs((rl.dynamic_pj - crc.dynamic_pj) - 100 * 0.16) < 1e-9
+
+    def test_dt_per_flit_overhead_applied(self):
+        model = RouterPowerModel()
+        stats = busy_epoch(50)
+        crc = model.epoch_energy(stats, DesignPowerProfile.crc(), False, 1000)
+        dt = model.epoch_energy(stats, DesignPowerProfile.decision_tree(), False, 1000)
+        assert abs((dt.dynamic_pj - crc.dynamic_pj) - 50 * 0.12) < 1e-9
+
+    def test_ecc_events_cost_energy(self):
+        model = RouterPowerModel()
+        stats = busy_epoch(50)
+        plain = model.epoch_energy(stats, DesignPowerProfile.arq_ecc(), True, 1000)
+        stats.ecc_encodes = 50
+        stats.ecc_decodes = 50
+        with_ecc = model.epoch_energy(stats, DesignPowerProfile.arq_ecc(), True, 1000)
+        assert with_ecc.dynamic_pj - plain.dynamic_pj == pytest.approx(50 * (0.7 + 0.9))
+
+    def test_rejects_bad_epoch(self):
+        model = RouterPowerModel()
+        with pytest.raises(ValueError):
+            model.epoch_energy(RouterEpochStats(), DesignPowerProfile.crc(), False, 0)
+
+
+class TestStaticEnergy:
+    def test_static_scales_with_time(self):
+        model = RouterPowerModel()
+        short = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.crc(), False, 500)
+        long = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.crc(), False, 1000)
+        assert long.static_pj == pytest.approx(2 * short.static_pj)
+
+    def test_crc_design_has_no_ecc_leakage(self):
+        model = RouterPowerModel()
+        crc = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.crc(), True, 1000)
+        arq = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.arq_ecc(), True, 1000)
+        assert arq.static_pj > crc.static_pj
+
+    def test_power_gating_removes_ecc_leakage(self):
+        """The proposed design gates ECC leakage off in mode 0; the static
+        ARQ+ECC design cannot."""
+        model = RouterPowerModel()
+        rl_on = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.rl(), True, 1000)
+        rl_off = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.rl(), False, 1000)
+        assert rl_off.static_pj < rl_on.static_pj
+        arq_off = model.epoch_energy(
+            RouterEpochStats(), DesignPowerProfile.arq_ecc(), False, 1000
+        )
+        arq_on = model.epoch_energy(
+            RouterEpochStats(), DesignPowerProfile.arq_ecc(), True, 1000
+        )
+        assert arq_off.static_pj == arq_on.static_pj
+
+    def test_expected_idle_baseline_power(self):
+        """2.0 mW baseline leakage at 2 GHz: 1000 cycles = 0.5 us -> 1 nJ."""
+        model = RouterPowerModel()
+        e = model.epoch_energy(RouterEpochStats(), DesignPowerProfile.crc(), False, 1000)
+        assert e.static_pj == pytest.approx(2.0e-3 * 0.5e-6 * 1e12)
+
+
+class TestConversions:
+    def test_to_watts(self):
+        # 1000 pJ over 1000 cycles at 2 GHz (0.5 us) = 2 mW.
+        assert RouterPowerModel.to_watts(1000.0, 1000, 2.0e9) == pytest.approx(2e-3)
+
+    def test_to_watts_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            RouterPowerModel.to_watts(1.0, 0, 2.0e9)
+
+    def test_custom_params_propagate(self):
+        params = EnergyParams(rl_per_flit_pj=0.32)
+        model = RouterPowerModel(params)
+        assert model.rl_overhead_fraction() == pytest.approx(0.32 / model.baseline_flit_energy_pj())

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, make_policy
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.design == "rl"
+        assert args.benchmark == "canneal"
+        assert args.width == 4
+
+    def test_sweep_rates_parsing(self):
+        args = build_parser().parse_args(["sweep", "--rates", "0.01,0.02"])
+        assert args.rates == "0.01,0.02"
+
+
+class TestMakePolicy:
+    def test_all_designs(self):
+        for name in ("crc", "arq_ecc", "dt", "rl"):
+            assert make_policy(name).profile.name in ("crc", "arq_ecc", "dt", "rl")
+
+    def test_unknown_design(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            make_policy("fpga")
+
+
+class TestCommands:
+    def _fast(self, extra):
+        return extra + [
+            "--width", "3", "--height", "3",
+            "--epoch", "100", "--pretrain", "1200",
+            "--warmup", "200", "--trace-cycles", "400",
+        ]
+
+    def test_run_json(self, capsys):
+        code = main(self._fast(["run", "--design", "crc", "--benchmark", "swaptions", "--json"]))
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "crc"
+        assert payload["packets_delivered"] > 0
+
+    def test_run_text(self, capsys):
+        code = main(self._fast(["run", "--design", "arq_ecc", "--benchmark", "swaptions"]))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_latency" in out
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(self._fast(["run", "--benchmark", "doom"]))
+
+    def test_compare_text(self, capsys):
+        code = main(self._fast(["compare", "--benchmark", "swaptions"]))
+        assert code == 0
+        out = capsys.readouterr().out
+        for design in ("crc", "arq_ecc", "dt", "rl"):
+            assert design in out
+
+    def test_sweep_json(self, capsys):
+        code = main(
+            self._fast(["sweep", "--design", "crc", "--rates", "0.005,0.01", "--span", "400", "--json"])
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert payload[0]["rate"] == 0.005
+        assert payload[0]["latency"] > 0
+        # Higher load never reduces latency on a sane sweep.
+        assert payload[1]["latency"] >= payload[0]["latency"] * 0.8

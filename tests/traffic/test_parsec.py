@@ -1,0 +1,112 @@
+"""Tests for the PARSEC-like trace synthesizer."""
+
+import random
+
+import pytest
+
+from repro.noc import MeshTopology
+from repro.traffic import PARSEC_PROFILES, BenchmarkProfile, ParsecTraceSynthesizer
+
+
+class TestProfiles:
+    def test_suite_has_ten_benchmarks(self):
+        assert len(PARSEC_PROFILES) == 10
+        assert "blackscholes" in PARSEC_PROFILES
+        assert "x264" in PARSEC_PROFILES
+
+    def test_intensity_ordering(self):
+        """Published characterization: blackscholes/swaptions lightest,
+        canneal/streamcluster heaviest."""
+        rates = {name: p.mean_rate for name, p in PARSEC_PROFILES.items()}
+        light = max(rates["blackscholes"], rates["swaptions"])
+        heavy = min(rates["canneal"], rates["streamcluster"])
+        assert light < heavy
+
+    def test_bursty_benchmarks_have_high_burst_factor(self):
+        assert PARSEC_PROFILES["x264"].burst_factor >= 3.0
+        assert PARSEC_PROFILES["blackscholes"].burst_factor == 1.0
+
+    def test_mean_rate_includes_burst_duty(self):
+        profile = BenchmarkProfile("b", 0.01, 3.0, 0.1, 0.1)
+        # duty cycle 0.5 -> rate * (1 + 0.5 * 2) = 0.02
+        assert profile.mean_rate == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("bad", 1.5)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("bad", 0.01, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("bad", 0.01, locality=(0.5, 0.2, 0.2))
+        with pytest.raises(ValueError):
+            BenchmarkProfile("bad", 0.01, packet_size=0)
+
+
+class TestSynthesizer:
+    def test_rejects_empty_span(self):
+        synth = ParsecTraceSynthesizer(
+            PARSEC_PROFILES["ferret"], MeshTopology(4, 4), random.Random(0)
+        )
+        with pytest.raises(ValueError):
+            synth.synthesize(0)
+
+    def test_records_are_valid_and_sorted_by_cycle(self):
+        synth = ParsecTraceSynthesizer(
+            PARSEC_PROFILES["dedup"], MeshTopology(4, 4), random.Random(1)
+        )
+        records = synth.synthesize(300)
+        assert records
+        cycles = [r.cycle for r in records]
+        assert cycles == sorted(cycles)
+        for r in records:
+            assert 0 <= r.src < 16 and 0 <= r.dest < 16 and r.src != r.dest
+            assert r.size == 4
+
+    def test_volume_matches_mean_rate(self):
+        profile = PARSEC_PROFILES["streamcluster"]
+        synth = ParsecTraceSynthesizer(profile, MeshTopology(4, 4), random.Random(2))
+        records = synth.synthesize(2000)
+        expected = profile.mean_rate * 16 * 2000
+        assert 0.8 * expected < len(records) < 1.2 * expected
+
+    def test_heavier_profile_generates_more_traffic(self):
+        topo = MeshTopology(4, 4)
+        light = len(
+            ParsecTraceSynthesizer(
+                PARSEC_PROFILES["blackscholes"], topo, random.Random(3)
+            ).synthesize(1500)
+        )
+        heavy = len(
+            ParsecTraceSynthesizer(
+                PARSEC_PROFILES["canneal"], topo, random.Random(3)
+            ).synthesize(1500)
+        )
+        assert heavy > 2 * light
+
+    def test_hotspot_locality_targets_hotspots(self):
+        profile = BenchmarkProfile("hot", 0.05, locality=(0.0, 0.0, 1.0))
+        synth = ParsecTraceSynthesizer(
+            profile, MeshTopology(4, 4), random.Random(4), hotspot_nodes=[5, 6]
+        )
+        records = synth.synthesize(300)
+        assert records
+        assert all(r.dest in (5, 6) for r in records)
+
+    def test_neighbour_locality_stays_adjacent(self):
+        profile = BenchmarkProfile("near", 0.05, locality=(0.0, 1.0, 0.0))
+        topo = MeshTopology(4, 4)
+        synth = ParsecTraceSynthesizer(profile, topo, random.Random(5))
+        for r in synth.synthesize(200):
+            assert topo.hop_distance(r.src, r.dest) == 1
+
+    def test_deterministic_per_seed(self):
+        topo = MeshTopology(4, 4)
+        a = ParsecTraceSynthesizer(PARSEC_PROFILES["vips"], topo, random.Random(7)).synthesize(200)
+        b = ParsecTraceSynthesizer(PARSEC_PROFILES["vips"], topo, random.Random(7)).synthesize(200)
+        assert a == b
+
+    def test_default_hotspots_are_centre_tiles(self):
+        topo = MeshTopology(8, 8)
+        synth = ParsecTraceSynthesizer(PARSEC_PROFILES["ferret"], topo, random.Random(0))
+        centre = {topo.node_id(3, 3), topo.node_id(4, 3), topo.node_id(3, 4), topo.node_id(4, 4)}
+        assert set(synth.hotspot_nodes) == centre

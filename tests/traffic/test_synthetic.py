@@ -1,0 +1,117 @@
+"""Tests for synthetic traffic patterns."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import MeshTopology
+from repro.traffic import PATTERNS, SyntheticTraffic, destination_for
+
+
+class TestPermutationPatterns:
+    def test_transpose(self):
+        topo = MeshTopology(4, 4)
+        rng = random.Random(0)
+        assert PATTERNS["transpose"](topo, topo.node_id(1, 3), rng) == topo.node_id(3, 1)
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            PATTERNS["transpose"](MeshTopology(4, 2), 0, random.Random(0))
+
+    def test_bit_complement(self):
+        topo = MeshTopology(4, 4)
+        assert PATTERNS["bit_complement"](topo, 0b0000, random.Random(0)) == 0b1111
+        assert PATTERNS["bit_complement"](topo, 0b0101, random.Random(0)) == 0b1010
+
+    def test_bit_reverse(self):
+        topo = MeshTopology(4, 4)
+        assert PATTERNS["bit_reverse"](topo, 0b0001, random.Random(0)) == 0b1000
+
+    def test_shuffle(self):
+        topo = MeshTopology(4, 4)
+        assert PATTERNS["shuffle"](topo, 0b1001, random.Random(0)) == 0b0011
+
+    def test_tornado(self):
+        topo = MeshTopology(8, 8)
+        assert PATTERNS["tornado"](topo, topo.node_id(0, 2), random.Random(0)) == topo.node_id(3, 2)
+
+    def test_neighbour_wraps(self):
+        topo = MeshTopology(4, 4)
+        assert PATTERNS["neighbour"](topo, topo.node_id(3, 1), random.Random(0)) == topo.node_id(0, 1)
+
+    def test_power_of_two_required_for_bit_patterns(self):
+        topo = MeshTopology(3, 3)
+        with pytest.raises(ValueError):
+            PATTERNS["bit_complement"](topo, 0, random.Random(0))
+
+    def test_destination_for_skips_self_loop(self):
+        topo = MeshTopology(4, 4)
+        diagonal = topo.node_id(2, 2)
+        assert destination_for("transpose", topo, diagonal, random.Random(0)) is None
+
+    def test_destination_for_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            destination_for("zigzag", MeshTopology(4, 4), 0, random.Random(0))
+
+    def test_uniform_never_self(self):
+        topo = MeshTopology(4, 4)
+        rng = random.Random(1)
+        for src in range(16):
+            for _ in range(50):
+                assert PATTERNS["uniform"](topo, src, rng) != src
+
+
+class TestSyntheticSource:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(MeshTopology(4, 4), injection_rate=1.5)
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(MeshTopology(4, 4), pattern="spiral")
+
+    def test_injection_rate_statistics(self):
+        topo = MeshTopology(4, 4)
+        source = SyntheticTraffic(topo, injection_rate=0.1, rng=random.Random(3))
+        total = sum(len(source.packets_for_cycle(t)) for t in range(500))
+        expected = 0.1 * 16 * 500
+        assert 0.85 * expected < total < 1.15 * expected
+
+    def test_zero_rate_generates_nothing(self):
+        source = SyntheticTraffic(MeshTopology(4, 4), injection_rate=0.0)
+        assert sum(len(source.packets_for_cycle(t)) for t in range(100)) == 0
+
+    def test_packet_geometry(self):
+        source = SyntheticTraffic(
+            MeshTopology(4, 4), injection_rate=1.0, packet_size=2, flit_bits=64,
+            rng=random.Random(0),
+        )
+        packets = source.packets_for_cycle(7)
+        assert packets
+        for p in packets:
+            assert p.size == 2
+            assert p.flit_bits == 64
+            assert p.created_at == 7
+
+    def test_hotspot_concentrates_traffic(self):
+        topo = MeshTopology(4, 4)
+        source = SyntheticTraffic(
+            topo, pattern="hotspot", injection_rate=0.5,
+            hotspot_nodes=[5], hotspot_fraction=0.8, rng=random.Random(9),
+        )
+        counts = {}
+        for t in range(200):
+            for p in source.packets_for_cycle(t):
+                counts[p.dest] = counts.get(p.dest, 0) + 1
+        assert counts[5] == max(counts.values())
+        assert counts[5] > 0.5 * sum(counts.values())
+
+
+@settings(max_examples=50)
+@given(pattern=st.sampled_from(sorted(PATTERNS)), src=st.integers(min_value=0, max_value=63))
+def test_property_patterns_stay_on_mesh(pattern, src):
+    topo = MeshTopology(8, 8)
+    dest = PATTERNS[pattern](topo, src, random.Random(0))
+    assert 0 <= dest < 64

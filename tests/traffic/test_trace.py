@@ -1,0 +1,108 @@
+"""Tests for trace records, file I/O, and replay."""
+
+import random
+
+import pytest
+
+from repro.noc import MeshTopology
+from repro.traffic import TraceRecord, TraceReplayer, load_trace, save_trace
+
+
+class TestRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, 0, 1, 4)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, 1, 0)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 3, 3, 4)
+
+    def test_ordering_by_cycle(self):
+        records = [TraceRecord(5, 0, 1, 4), TraceRecord(2, 1, 0, 4)]
+        assert sorted(records)[0].cycle == 2
+
+
+class TestFileIO:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            TraceRecord(0, 0, 5, 4),
+            TraceRecord(3, 2, 7, 1),
+            TraceRecord(3, 1, 4, 4),
+        ]
+        path = tmp_path / "trace.txt"
+        assert save_trace(records, path) == 3
+        loaded = load_trace(path)
+        assert loaded == sorted(records)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n1 0 2 4\n# trailer\n")
+        assert load_trace(path) == [TraceRecord(1, 0, 2, 4)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 0 2\n")
+        with pytest.raises(ValueError, match="expected 4 fields"):
+            load_trace(path)
+
+
+class TestReplayer:
+    def _records(self):
+        return [
+            TraceRecord(0, 0, 1, 4),
+            TraceRecord(2, 1, 2, 4),
+            TraceRecord(2, 3, 0, 2),
+            TraceRecord(10, 2, 3, 4),
+        ]
+
+    def test_replays_in_time_order(self):
+        replayer = TraceReplayer(self._records(), MeshTopology(2, 2))
+        assert len(replayer.packets_for_cycle(0)) == 1
+        assert len(replayer.packets_for_cycle(1)) == 0
+        assert len(replayer.packets_for_cycle(2)) == 2
+        assert not replayer.exhausted
+        assert len(replayer.packets_for_cycle(10)) == 1
+        assert replayer.exhausted
+
+    def test_late_poll_catches_up(self):
+        replayer = TraceReplayer(self._records(), MeshTopology(2, 2))
+        assert len(replayer.packets_for_cycle(99)) == 4
+
+    def test_packet_fields_match_record(self):
+        replayer = TraceReplayer([TraceRecord(1, 3, 0, 2)], MeshTopology(2, 2), flit_bits=32)
+        packet = replayer.packets_for_cycle(1)[0]
+        assert (packet.src, packet.dest, packet.size) == (3, 0, 2)
+        assert packet.flit_bits == 32
+
+    def test_stretch_rescales_time(self):
+        replayer = TraceReplayer(self._records(), MeshTopology(2, 2), stretch=2.0)
+        assert len(replayer.packets_for_cycle(3)) == 1  # only the cycle-0 record
+        assert len(replayer.packets_for_cycle(4)) == 2  # cycle-2 records land at 4
+        assert replayer.last_cycle == 20
+
+    def test_rejects_bad_stretch(self):
+        with pytest.raises(ValueError):
+            TraceReplayer([], MeshTopology(2, 2), stretch=0.0)
+
+    def test_rejects_off_mesh_records(self):
+        with pytest.raises(ValueError):
+            TraceReplayer([TraceRecord(0, 0, 99, 4)], MeshTopology(2, 2))
+
+    def test_reset(self):
+        replayer = TraceReplayer(self._records(), MeshTopology(2, 2))
+        replayer.packets_for_cycle(99)
+        assert replayer.exhausted
+        replayer.reset()
+        assert replayer.remaining == 4
+
+    def test_counts(self):
+        replayer = TraceReplayer(self._records(), MeshTopology(2, 2))
+        assert replayer.total_messages == 4
+        replayer.packets_for_cycle(2)
+        assert replayer.remaining == 1
+
+    def test_empty_trace(self):
+        replayer = TraceReplayer([], MeshTopology(2, 2))
+        assert replayer.exhausted
+        assert replayer.last_cycle == 0
+        assert replayer.packets_for_cycle(0) == []
