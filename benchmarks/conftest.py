@@ -19,6 +19,11 @@ Scaling knobs (environment variables):
     Comma-separated subset of PARSEC benchmark names (default: all ten).
 ``REPRO_BENCH_REFRESH=1``
     Ignore the cache and recompute the grid.
+``REPRO_BENCH_JOBS``
+    Worker processes for the grid (default: one per design, capped by
+    the CPU count).  Each design's chain (pre-train once, then every
+    benchmark in order with policy state carried over) is one sweep
+    point, so parallelism across designs changes no results.
 """
 
 import json
@@ -27,11 +32,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.sim import RunResult, run_parsec_suite, scaled_config
+from repro.sim import (
+    DESIGN_ORDER,
+    RunResult,
+    SweepRunner,
+    SweepSpec,
+    merge_suite,
+    scaled_config,
+    stderr_progress,
+)
 from repro.traffic import PARSEC_PROFILES
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SUITE_CACHE = RESULTS_DIR / "suite.json"
+SWEEP_CACHE_DIR = RESULTS_DIR / "sweep_cache"
 
 
 def bench_config():
@@ -57,6 +71,9 @@ def bench_benchmarks():
 
 def _fingerprint(config, benchmarks, trace_cycles):
     return {
+        # Bump when result-affecting code changes (v2: stable crc32 trace
+        # seeding replaced per-interpreter hash()).
+        "code_version": 2,
         "width": config.width,
         "height": config.height,
         "pretrain_cycles": config.pretrain_cycles,
@@ -85,7 +102,23 @@ def suite_results():
                 for bench, row in payload["results"].items()
             }
 
-    suite = run_parsec_suite(config, trace_cycles, benchmarks=benchmarks, seed=11)
+    default_jobs = min(len(DESIGN_ORDER), os.cpu_count() or 1)
+    spec = SweepSpec(
+        config=config,
+        kind="suite",
+        designs=DESIGN_ORDER,
+        traffics=tuple(benchmarks),
+        seeds=(11,),
+        cycles=trace_cycles,
+    )
+    runner = SweepRunner(
+        spec,
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", default_jobs)),
+        cache_dir=SWEEP_CACHE_DIR,
+        refresh=os.environ.get("REPRO_BENCH_REFRESH") == "1",
+        progress=stderr_progress,
+    )
+    suite = merge_suite(runner.run())
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "fingerprint": fingerprint,

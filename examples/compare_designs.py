@@ -6,24 +6,38 @@ CRC, static ARQ+ECC, the decision-tree predictor, and the proposed RL
 policy all carry the *same* canneal-like trace, and the script prints
 every evaluation metric normalized to the CRC baseline.
 
+The four designs are independent simulations, so they run through the
+sweep runner (:mod:`repro.sim.sweep`): ``--jobs 4`` runs them in
+parallel, and cached points make a re-run instant.
+
 Run:
-    python examples/compare_designs.py [benchmark]
+    python examples/compare_designs.py [benchmark] [--jobs N] [--no-cache]
 """
 
-import sys
+import argparse
 
 from repro.sim import (
     DESIGN_ORDER,
-    compare_designs,
+    SweepRunner,
+    SweepSpec,
+    merge_trace_grid,
     normalize_to_baseline,
     scaled_config,
+    stderr_progress,
     synthesize_benchmark_trace,
 )
+from repro.sim.sweep import DEFAULT_CACHE_DIR
 from repro.traffic import PARSEC_PROFILES
 
 
 def main() -> None:
-    benchmark = sys.argv[1] if len(sys.argv) > 1 else "canneal"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="canneal")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+    benchmark = args.benchmark
     if benchmark not in PARSEC_PROFILES:
         raise SystemExit(
             f"unknown benchmark {benchmark!r}; pick one of "
@@ -41,7 +55,23 @@ def main() -> None:
     print(f"benchmark {benchmark}: {len(trace)} messages, 4x4 mesh")
     print("running 4 designs (learning designs pre-train first) ...\n")
 
-    results = compare_designs(trace, config, benchmark=benchmark, seed=7)
+    spec = SweepSpec(
+        config=config,
+        kind="trace",
+        designs=DESIGN_ORDER,
+        traffics=(benchmark,),
+        seeds=(7,),
+        cycles=3_000,
+    )
+    runner = SweepRunner(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=stderr_progress,
+    )
+    grid = merge_trace_grid(runner.run())
+    results = grid[(benchmark, 1.0, 7)]
 
     metrics = [
         ("E2E latency", lambda r: r.mean_latency, "lower"),

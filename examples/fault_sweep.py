@@ -6,52 +6,58 @@ flat per-transfer error probability across the channels (bypassing the
 thermal loop), and prints latency / retransmissions / energy — the raw
 trade-off surface (Section III) that the RL controller learns to navigate.
 
+The 4 modes x 4 error levels grid runs through the sweep runner
+(:mod:`repro.sim.sweep`), so points execute in parallel with ``--jobs``
+and completed points are cached: re-running the example is instant.
+
 Run:
-    python examples/fault_sweep.py
+    python examples/fault_sweep.py [--jobs N] [--no-cache]
 """
 
-import random
+import argparse
 
 from repro.core.modes import OperationMode
-from repro.noc import MeshTopology, Network, Packet
+from repro.sim import SweepRunner, SweepSpec, scaled_config, stderr_progress
+from repro.sim.sweep import DEFAULT_CACHE_DIR, MODE_DESIGNS
 
-
-def run_point(mode: OperationMode, error: float, n_packets: int = 250, seed: int = 5):
-    rng = random.Random(seed)
-    net = Network(MeshTopology(4, 4), rng=random.Random(seed + 1))
-    net.set_all_modes(mode)
-    for _, model in net.channel_models():
-        model.event_probability = error
-    created = 0
-    while created < n_packets or not net.quiescent:
-        if created < n_packets and net.now % 2 == 0:
-            src, dst = rng.randrange(16), rng.randrange(16)
-            if src != dst:
-                net.inject(
-                    Packet(
-                        src, dst, 4, 128, net.now,
-                        payloads=[rng.getrandbits(128) for _ in range(4)],
-                    )
-                )
-                created += 1
-        net.cycle()
-        if net.now > 500_000:
-            raise RuntimeError("network failed to drain")
-    net.harvest_epoch_counters(1)
-    return net.stats
+ERROR_LEVELS = (0.0, 0.01, 0.05, 0.15)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    spec = SweepSpec(
+        config=scaled_config(width=4, height=4),
+        kind="mode_error",
+        designs=MODE_DESIGNS,
+        traffics=("uniform",),
+        error_probabilities=ERROR_LEVELS,
+        seeds=(5,),
+        cycles=250,  # packets injected per point
+    )
+    runner = SweepRunner(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=stderr_progress,
+    )
+    results = runner.run()
+
     print("uniform random traffic, 4x4 mesh, whole mesh pinned per mode\n")
     print(f"{'p(error)':>9s} {'mode':>6s} {'latency':>9s} {'retx':>6s} "
           f"{'corrected':>10s} {'escaped':>8s} {'duplicates':>11s}")
-    for error in (0.0, 0.01, 0.05, 0.15):
-        for mode in OperationMode:
-            stats = run_point(mode, error)
+    for i, error in enumerate(ERROR_LEVELS):
+        for j, mode in enumerate(OperationMode):
+            stats = results[i * len(OperationMode) + j].mode_stats
             print(
-                f"{error:>9.2f} {int(mode):>6d} {stats.mean_latency:>9.1f} "
-                f"{stats.retransmission_events:>6d} {stats.corrected_errors:>10d} "
-                f"{stats.escaped_errors:>8d} {stats.duplicate_flits:>11d}"
+                f"{error:>9.2f} {int(mode):>6d} {stats['mean_latency']:>9.1f} "
+                f"{stats['retransmission_events']:>6d} {stats['corrected_errors']:>10d} "
+                f"{stats['escaped_errors']:>8d} {stats['duplicate_flits']:>11d}"
             )
         print()
     print("reading the table:")

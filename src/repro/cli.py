@@ -10,18 +10,24 @@ Three subcommands:
     The classic NoC load sweep: latency vs offered load for one design,
     showing where the saturation knee falls.
 
+``compare`` and ``sweep`` are grids of independent simulations, so both
+go through :mod:`repro.sim.sweep`: ``--jobs N`` fans points out over a
+process pool (``--jobs 1`` runs the identical code serially), and every
+finished point is cached under ``--cache-dir`` (default
+``.sweep_cache/``) so re-runs and interrupted grids resume without
+re-simulating.  ``--no-cache`` forces fresh simulations.
+
 Examples::
 
     python -m repro.cli run --design rl --benchmark canneal
     python -m repro.cli compare --benchmark x264 --width 4 --height 4
-    python -m repro.cli sweep --design arq_ecc --pattern transpose
+    python -m repro.cli sweep --design arq_ecc --pattern transpose --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 from typing import Optional, Sequence
 
@@ -30,12 +36,16 @@ from repro.core.rl_policy import RLControlPolicy
 from repro.sim import (
     DESIGN_ORDER,
     Simulator,
-    compare_designs,
+    SweepRunner,
+    SweepSpec,
+    merge_trace_grid,
     normalize_to_baseline,
     scaled_config,
+    stderr_progress,
     synthesize_benchmark_trace,
 )
-from repro.traffic import PARSEC_PROFILES, SyntheticTraffic
+from repro.sim.sweep import DEFAULT_CACHE_DIR
+from repro.traffic import PARSEC_PROFILES
 
 __all__ = ["main", "build_parser", "make_policy"]
 
@@ -77,6 +87,31 @@ def _add_platform_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
 
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for grid points (1 = serial, identical results)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="result cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the result cache",
+    )
+
+
+def _make_runner(spec: SweepSpec, args) -> SweepRunner:
+    return SweepRunner(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=stderr_progress,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -92,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp = sub.add_parser("compare", help="all four designs on one benchmark")
     comp.add_argument("--benchmark", default="canneal")
     _add_platform_args(comp)
+    _add_sweep_args(comp)
 
     sweep = sub.add_parser("sweep", help="latency vs offered load for one design")
     sweep.add_argument("--design", default="crc")
@@ -103,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--span", type=int, default=3_000, help="injection cycles per point")
     _add_platform_args(sweep)
+    _add_sweep_args(sweep)
 
     return parser
 
@@ -137,9 +174,19 @@ def cmd_run(args) -> int:
 def cmd_compare(args) -> int:
     _check_benchmark(args.benchmark)
     config = _config_from_args(args)
-    trace = synthesize_benchmark_trace(args.benchmark, config, args.trace_cycles, args.seed)
+    spec = SweepSpec(
+        config=config,
+        kind="trace",
+        designs=DESIGN_ORDER,
+        traffics=(args.benchmark,),
+        seeds=(args.seed,),
+        cycles=args.trace_cycles,
+    )
     print(f"running 4 designs on {args.benchmark} ...", file=sys.stderr)
-    results = compare_designs(trace, config, benchmark=args.benchmark, seed=args.seed)
+    runner = _make_runner(spec, args)
+    grid = merge_trace_grid(runner.run())
+    results = grid[(args.benchmark, spec.error_scales[0], args.seed)]
+    results = {design: results[design] for design in DESIGN_ORDER}
     if args.json:
         print(json.dumps({d: r.as_dict() for d, r in results.items()}, indent=2))
         return 0
@@ -160,36 +207,27 @@ def cmd_compare(args) -> int:
 def cmd_sweep(args) -> int:
     config = _config_from_args(args)
     rates = [float(r) for r in args.rates.split(",") if r]
-    policy = make_policy(args.design, args.seed)
-    rows = []
-    for rate in rates:
-        sim = Simulator(config, make_policy(args.design, args.seed), seed=args.seed)
-        if sim.policy.trainable:
-            sim.pretrain()
-        sim.policy.freeze()
-        source = SyntheticTraffic(
-            sim.network.topology,
-            pattern=args.pattern,
-            injection_rate=rate,
-            packet_size=config.packet_size,
-            flit_bits=config.flit_bits,
-            rng=random.Random(args.seed + 9),
-        )
-        sim.run_cycles(source, args.span, learn=True)
-
-        class _Silence:
-            """Stops offering packets so the network can drain."""
-
-            @staticmethod
-            def packets_for_cycle(_now):
-                return []
-
-        try:
-            sim.run_until_drained(_Silence(), lambda: True, learn=True)
-            stats = sim.network.stats
-            rows.append((rate, stats.mean_latency, stats.throughput, False))
-        except RuntimeError:
-            rows.append((rate, float("inf"), 0.0, True))
+    if not rates:
+        raise SystemExit("no injection rates given")
+    spec = SweepSpec(
+        config=config,
+        kind="load",
+        designs=(args.design,),
+        traffics=(args.pattern,),
+        rates=tuple(rates),
+        seeds=(args.seed,),
+        cycles=args.span,
+    )
+    runner = _make_runner(spec, args)
+    rows = [
+        (p.load["rate"], p.load["latency"], p.load["throughput"], p.load["saturated"])
+        for p in runner.run()
+    ]
+    print(
+        f"[sweep] {runner.executed} point(s) simulated, "
+        f"{len(rows) - runner.executed} from cache",
+        file=sys.stderr,
+    )
     if args.json:
         print(json.dumps([
             {"rate": r, "latency": lat, "throughput": thr, "saturated": sat}

@@ -14,6 +14,20 @@ from repro.sim.experiment import (
 )
 from repro.sim.metrics import RunResult, StatsSnapshot
 from repro.sim.simulator import Simulator
+from repro.sim.sweep import (
+    PointResult,
+    SweepCache,
+    SweepPoint,
+    SweepProgress,
+    SweepRunner,
+    SweepSpec,
+    merge_suite,
+    merge_trace_grid,
+    normalized_tables,
+    point_cache_key,
+    run_sweep_point,
+    stderr_progress,
+)
 
 __all__ = [
     "SimulationConfig",
@@ -31,4 +45,16 @@ __all__ = [
     "RunResult",
     "StatsSnapshot",
     "Simulator",
+    "PointResult",
+    "SweepCache",
+    "SweepPoint",
+    "SweepProgress",
+    "SweepRunner",
+    "SweepSpec",
+    "merge_suite",
+    "merge_trace_grid",
+    "normalized_tables",
+    "point_cache_key",
+    "run_sweep_point",
+    "stderr_progress",
 ]

@@ -10,6 +10,7 @@ normalizes every metric to the CRC baseline exactly as Figs 6-10 do.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.baselines.decision_tree import DecisionTreePolicy
@@ -123,7 +124,11 @@ def synthesize_benchmark_trace(
     """PARSEC-like trace for one benchmark on the configured mesh."""
     profile = PARSEC_PROFILES[benchmark]
     topology = MeshTopology(config.width, config.height)
-    synthesizer = ParsecTraceSynthesizer(profile, topology, random.Random(seed + hash(benchmark) % 1000))
+    # zlib.crc32, not hash(): str hashing is salted per interpreter
+    # (PYTHONHASHSEED), which would give every process — and every sweep
+    # worker — a different trace for the same (benchmark, seed).
+    stable = zlib.crc32(benchmark.encode("utf-8")) % 1000
+    synthesizer = ParsecTraceSynthesizer(profile, topology, random.Random(seed + stable))
     return synthesizer.synthesize(cycles)
 
 

@@ -1,0 +1,625 @@
+"""Parallel sweep orchestration with on-disk result caching.
+
+The paper's evaluation (Figs 6-10) is a grid of (design x error-rate x
+traffic x seed) measurement runs.  Each point is an independent,
+deterministic simulation, so the grid parallelizes perfectly and every
+completed point is worth persisting.  This module provides:
+
+* :class:`SweepSpec` — a declarative grid specification that expands into
+  :class:`SweepPoint` jobs, one per simulation;
+* :func:`run_sweep_point` — the process-safe evaluator for a single
+  point (also the ``--jobs 1`` serial path, so serial and parallel runs
+  execute byte-identical code);
+* :class:`SweepRunner` — fans pending points out over a
+  ``multiprocessing`` pool, caches every result as JSON under
+  ``.sweep_cache/`` keyed by a stable content hash of (config, point),
+  and reports structured progress (done / cached / running, ETA).
+  Re-running an identical grid — or resuming an interrupted one —
+  replays cached points without executing a single simulation;
+* merge helpers that aggregate point results back into the
+  benchmarks-x-designs shape :mod:`repro.sim.experiment` produces, so
+  the normalized-to-baseline tables come out identical.
+
+Point kinds
+-----------
+``trace``
+    One design replays one synthesized benchmark trace with the full
+    phase structure (``experiment.run_design_on_trace``).
+``load``
+    The classic load sweep: one design under open-loop synthetic traffic
+    at one injection rate; reports latency / throughput / saturation.
+``suite``
+    One design over an ordered benchmark list with a *single* shared
+    pre-training phase and policy state carried across benchmarks —
+    exactly ``experiment.run_parsec_suite``'s per-design chain, which
+    cannot be split further without changing results.
+``mode_error``
+    The raw mode trade-off surface: the whole mesh pinned to one
+    operation mode under a flat channel error probability (used by
+    ``examples/fault_sweep.py``).
+
+Determinism contract: every evaluator seeds all randomness from the
+point's ``seed`` field (the simulators use only local
+``random.Random`` instances), so a point's result is a pure function of
+(config, point) — which is precisely what the cache key hashes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.modes import OperationMode
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+from repro.sim.config import SimulationConfig
+from repro.sim.experiment import (
+    DESIGN_ORDER,
+    default_design_factories,
+    normalize_to_baseline,
+    pretrain_policy,
+    run_design_on_trace,
+    synthesize_benchmark_trace,
+)
+from repro.sim.metrics import RunResult
+from repro.sim.simulator import Simulator
+from repro.traffic.synthetic import NullTraffic, SyntheticTraffic
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "SweepPoint",
+    "SweepSpec",
+    "PointResult",
+    "SweepProgress",
+    "SweepCache",
+    "SweepRunner",
+    "point_cache_key",
+    "run_sweep_point",
+    "merge_trace_grid",
+    "merge_suite",
+    "normalized_tables",
+    "stderr_progress",
+]
+
+#: Bump when an evaluator's semantics change, invalidating cached points.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".sweep_cache"
+
+POINT_KINDS = ("trace", "load", "suite", "mode_error")
+
+MODE_DESIGNS = tuple(f"mode{int(m)}" for m in OperationMode)
+
+
+# ----------------------------------------------------------------------
+# Grid specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation job of a sweep grid.
+
+    ``traffic`` names a benchmark (``trace``), a synthetic pattern
+    (``load`` / ``mode_error``), or a comma-joined ordered benchmark
+    list (``suite``).  ``cycles`` is the trace injection span for trace
+    kinds, the injection span for ``load``, and the packet count for
+    ``mode_error``.  Unused numeric fields keep their defaults so cache
+    keys stay stable across kinds.
+    """
+
+    kind: str
+    design: str
+    traffic: str
+    seed: int
+    cycles: int
+    error_scale: float = 1.0
+    rate: float = 0.0
+    error_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in POINT_KINDS:
+            raise ValueError(f"unknown point kind {self.kind!r}")
+        if self.kind == "mode_error":
+            if self.design not in MODE_DESIGNS:
+                raise ValueError(
+                    f"mode_error points take designs {MODE_DESIGNS}, got {self.design!r}"
+                )
+        elif self.design not in DESIGN_ORDER:
+            raise ValueError(
+                f"unknown design {self.design!r}; pick one of {', '.join(DESIGN_ORDER)}"
+            )
+        if self.cycles < 1:
+            raise ValueError("cycles must be positive")
+
+    def label(self) -> str:
+        """Short human-readable identifier used in progress lines."""
+        parts = [self.kind, self.design, self.traffic, f"s{self.seed}"]
+        if self.kind == "load":
+            parts.append(f"r{self.rate:g}")
+        if self.kind == "mode_error":
+            parts.append(f"p{self.error_probability:g}")
+        if self.error_scale != 1.0:
+            parts.append(f"x{self.error_scale:g}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative grid: the cross product expanded by :meth:`expand`.
+
+    Expansion order is deterministic — traffic (outer), error scale,
+    rate / error probability, seed, design (inner) — so result lists
+    line up across runs and ``--jobs`` settings.
+    """
+
+    config: SimulationConfig
+    kind: str = "trace"
+    designs: Tuple[str, ...] = DESIGN_ORDER
+    traffics: Tuple[str, ...] = ("canneal",)
+    seeds: Tuple[int, ...] = (0,)
+    error_scales: Tuple[float, ...] = (1.0,)
+    rates: Tuple[float, ...] = (0.0,)
+    error_probabilities: Tuple[float, ...] = (0.0,)
+    cycles: int = 3_000
+
+    def __post_init__(self) -> None:
+        if self.kind not in POINT_KINDS:
+            raise ValueError(f"unknown sweep kind {self.kind!r}")
+        for name in ("designs", "traffics", "seeds", "error_scales"):
+            if not getattr(self, name):
+                raise ValueError(f"{name} cannot be empty")
+
+    def expand(self) -> List[SweepPoint]:
+        """The grid's jobs, in deterministic order."""
+        points = []
+        traffics = (",".join(self.traffics),) if self.kind == "suite" else self.traffics
+        for traffic in traffics:
+            for scale in self.error_scales:
+                for extra in self._extra_axis():
+                    for seed in self.seeds:
+                        for design in self.designs:
+                            points.append(
+                                SweepPoint(
+                                    kind=self.kind,
+                                    design=design,
+                                    traffic=traffic,
+                                    seed=seed,
+                                    cycles=self.cycles,
+                                    error_scale=scale,
+                                    rate=extra if self.kind == "load" else 0.0,
+                                    error_probability=(
+                                        extra if self.kind == "mode_error" else 0.0
+                                    ),
+                                )
+                            )
+        return points
+
+    def _extra_axis(self) -> Tuple[float, ...]:
+        if self.kind == "load":
+            return self.rates
+        if self.kind == "mode_error":
+            return self.error_probabilities
+        return (0.0,)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
+        out = dataclasses.asdict(self)
+        out["config"] = dataclasses.asdict(self.config)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepSpec":
+        """Build a spec from a plain dict (e.g. a JSON grid file)."""
+        kwargs = dict(data)
+        config = kwargs.pop("config", {})
+        if not isinstance(config, SimulationConfig):
+            config = dict(config)
+            if "error_severity" in config:
+                config["error_severity"] = tuple(config["error_severity"])
+            config = SimulationConfig(**config)
+        for name in ("designs", "traffics", "seeds", "error_scales",
+                     "rates", "error_probabilities"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(config=config, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Point evaluators (run inside worker processes — keep module-level)
+# ----------------------------------------------------------------------
+def _eval_trace(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    config = dataclasses.replace(config, error_scale=point.error_scale)
+    policy = default_design_factories(point.seed)[point.design]()
+    records = synthesize_benchmark_trace(point.traffic, config, point.cycles, point.seed)
+    result = run_design_on_trace(
+        policy, records, config, benchmark=point.traffic, seed=point.seed
+    )
+    return {"run": result.constructor_dict()}
+
+
+def _eval_suite(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    config = dataclasses.replace(config, error_scale=point.error_scale)
+    policy = default_design_factories(point.seed)[point.design]()
+    pretrain_policy(policy, config, seed=point.seed)
+    suite = {}
+    for benchmark in point.traffic.split(","):
+        records = synthesize_benchmark_trace(benchmark, config, point.cycles, point.seed)
+        result = run_design_on_trace(
+            policy, records, config,
+            benchmark=benchmark, seed=point.seed, pretrained=True,
+        )
+        suite[benchmark] = result.constructor_dict()
+    return {"suite": suite}
+
+
+def _eval_load(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    config = dataclasses.replace(config, error_scale=point.error_scale)
+    policy = default_design_factories(point.seed)[point.design]()
+    sim = Simulator(config, policy, seed=point.seed)
+    if sim.policy.trainable:
+        sim.pretrain()
+    sim.policy.freeze()
+    source = SyntheticTraffic(
+        sim.network.topology,
+        pattern=point.traffic,
+        injection_rate=point.rate,
+        packet_size=config.packet_size,
+        flit_bits=config.flit_bits,
+        rng=random.Random(point.seed + 9),
+    )
+    sim.run_cycles(source, point.cycles, learn=True)
+    try:
+        sim.run_until_drained(NullTraffic(), lambda: True, learn=True)
+    except RuntimeError:
+        return {
+            "load": {"rate": point.rate, "latency": None,
+                     "throughput": 0.0, "saturated": True},
+        }
+    stats = sim.network.stats
+    return {
+        "load": {"rate": point.rate, "latency": stats.mean_latency,
+                 "throughput": stats.throughput, "saturated": False},
+    }
+
+
+def _eval_mode_error(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    mode = OperationMode(int(point.design[len("mode"):]))
+    rng = random.Random(point.seed)
+    net = Network(
+        MeshTopology(config.width, config.height), rng=random.Random(point.seed + 1)
+    )
+    net.set_all_modes(mode)
+    for _, model in net.channel_models():
+        model.event_probability = point.error_probability
+    nodes = net.topology.num_nodes
+    created = 0
+    while created < point.cycles or not net.quiescent:
+        if created < point.cycles and net.now % 2 == 0:
+            src, dst = rng.randrange(nodes), rng.randrange(nodes)
+            if src != dst:
+                net.inject(
+                    Packet(
+                        src, dst, config.packet_size, config.flit_bits, net.now,
+                        payloads=[
+                            rng.getrandbits(config.flit_bits)
+                            for _ in range(config.packet_size)
+                        ],
+                    )
+                )
+                created += 1
+        net.cycle()
+        if net.now > 500_000:
+            raise RuntimeError("network failed to drain")
+    net.harvest_epoch_counters(1)
+    stats = net.stats
+    return {
+        "stats": {
+            "mean_latency": stats.mean_latency,
+            "retransmission_events": stats.retransmission_events,
+            "corrected_errors": stats.corrected_errors,
+            "escaped_errors": stats.escaped_errors,
+            "duplicate_flits": stats.duplicate_flits,
+        },
+    }
+
+
+_EVALUATORS = {
+    "trace": _eval_trace,
+    "load": _eval_load,
+    "suite": _eval_suite,
+    "mode_error": _eval_mode_error,
+}
+
+
+def run_sweep_point(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    """Evaluate one point; the single code path for serial AND pooled runs."""
+    started = time.perf_counter()
+    payload = _EVALUATORS[point.kind](config, point)
+    payload["elapsed"] = time.perf_counter() - started
+    return payload
+
+
+def _pool_worker(job: Tuple[int, SimulationConfig, SweepPoint]):
+    index, config, point = job
+    return index, run_sweep_point(config, point)
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+def point_cache_key(config: SimulationConfig, point: SweepPoint) -> str:
+    """Stable content hash of everything a point's result depends on."""
+    fingerprint = {
+        "schema": CACHE_SCHEMA,
+        "config": dataclasses.asdict(config),
+        "point": dataclasses.asdict(point),
+    }
+    blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+class SweepCache:
+    """One JSON file per completed point under ``root``.
+
+    Files are written atomically (temp + rename) so an interrupted sweep
+    never leaves a truncated entry; on resume, valid entries replay and
+    only the missing points execute.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        path = self.path(key)
+        try:
+            with path.open() as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            return None
+        return entry.get("payload")
+
+    def store(self, key: str, point: SweepPoint, payload: Dict[str, object]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "point": dataclasses.asdict(point),
+            "payload": payload,
+        }
+        tmp = self.path(key).with_suffix(".tmp")
+        with tmp.open("w") as handle:
+            json.dump(entry, handle, indent=2)
+        os.replace(tmp, self.path(key))
+
+
+# ----------------------------------------------------------------------
+# Results and progress
+# ----------------------------------------------------------------------
+@dataclass
+class PointResult:
+    """One point's outcome, decoded back into rich objects."""
+
+    point: SweepPoint
+    cached: bool
+    elapsed: float
+    run: Optional[RunResult] = None
+    suite: Optional[Dict[str, RunResult]] = None
+    load: Optional[Dict[str, float]] = None
+    mode_stats: Optional[Dict[str, float]] = None
+
+
+def _payload_to_result(
+    point: SweepPoint, payload: Dict[str, object], cached: bool
+) -> PointResult:
+    result = PointResult(
+        point=point, cached=cached, elapsed=float(payload.get("elapsed", 0.0))
+    )
+    if payload.get("run") is not None:
+        result.run = RunResult.from_dict(payload["run"])
+    if payload.get("suite") is not None:
+        result.suite = {
+            bench: RunResult.from_dict(data)
+            for bench, data in payload["suite"].items()
+        }
+    if payload.get("load") is not None:
+        load = dict(payload["load"])
+        if load.get("saturated"):
+            load["latency"] = float("inf")
+        result.load = load
+    if payload.get("stats") is not None:
+        result.mode_stats = dict(payload["stats"])
+    return result
+
+
+@dataclass
+class SweepProgress:
+    """Structured progress snapshot handed to the reporter callback."""
+
+    total: int
+    done: int = 0
+    cached: int = 0
+    running: int = 0
+    executed_seconds: List[float] = field(default_factory=list)
+    jobs: int = 1
+    current: Optional[str] = None
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+    def eta_seconds(self) -> Optional[float]:
+        """Wall-clock estimate for the remaining points, or None before
+        the first executed point lands."""
+        if not self.executed_seconds or not self.pending:
+            return None
+        mean = sum(self.executed_seconds) / len(self.executed_seconds)
+        return mean * self.pending / max(1, self.jobs)
+
+
+def stderr_progress(progress: SweepProgress) -> None:
+    """Default human-readable reporter: one status line per event."""
+    eta = progress.eta_seconds()
+    eta_text = f", eta ~{eta:.0f}s" if eta is not None else ""
+    tail = f" [{progress.current}]" if progress.current else ""
+    print(
+        f"[sweep] {progress.done}/{progress.total} done "
+        f"({progress.cached} cached, {progress.running} running{eta_text}){tail}",
+        file=sys.stderr,
+    )
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Expand a spec, replay cached points, fan the rest over a pool.
+
+    ``jobs=1`` runs pending points serially in-process through the exact
+    same evaluator the workers use, so results are bit-identical across
+    job counts.  ``use_cache=False`` disables both lookup and storage;
+    ``refresh=True`` skips lookup but stores fresh results.  After
+    :meth:`run`, ``executed`` counts simulations actually performed
+    (i.e. cache misses).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        jobs: int = 1,
+        cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+        refresh: bool = False,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.spec = spec
+        self.jobs = jobs
+        self.cache = SweepCache(cache_dir) if use_cache else None
+        self.refresh = refresh
+        self.progress = progress
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[PointResult]:
+        """Execute the grid; results are in spec expansion order."""
+        points = self.spec.expand()
+        results: List[Optional[PointResult]] = [None] * len(points)
+        state = SweepProgress(total=len(points), jobs=self.jobs)
+        self.executed = 0
+
+        pending: List[Tuple[int, str, SweepPoint]] = []
+        for index, point in enumerate(points):
+            key = point_cache_key(self.spec.config, point)
+            payload = (
+                self.cache.load(key) if self.cache and not self.refresh else None
+            )
+            if payload is not None:
+                results[index] = _payload_to_result(point, payload, cached=True)
+                state.cached += 1
+                state.done += 1
+            else:
+                pending.append((index, key, point))
+        self._report(state)
+
+        if not pending:
+            return results
+
+        if self.jobs == 1:
+            for index, key, point in pending:
+                state.running = 1
+                state.current = point.label()
+                self._report(state)
+                payload = run_sweep_point(self.spec.config, point)
+                state.running = 0
+                self._finish(index, key, point, payload, results, state)
+            return results
+
+        keys = {index: key for index, key, _ in pending}
+        jobs = [(index, self.spec.config, point) for index, _, point in pending]
+        with multiprocessing.Pool(processes=min(self.jobs, len(jobs))) as pool:
+            outstanding = len(jobs)
+            state.running = min(self.jobs, outstanding)
+            self._report(state)
+            for index, payload in pool.imap_unordered(_pool_worker, jobs):
+                outstanding -= 1
+                state.running = min(self.jobs, outstanding)
+                self._finish(index, keys[index], points[index], payload, results, state)
+        return results
+
+    # ------------------------------------------------------------------
+    def _finish(self, index, key, point, payload, results, state) -> None:
+        if self.cache:
+            self.cache.store(key, point, payload)
+        self.executed += 1
+        state.executed_seconds.append(float(payload.get("elapsed", 0.0)))
+        results[index] = _payload_to_result(point, payload, cached=False)
+        state.done += 1
+        state.current = point.label()
+        self._report(state)
+
+    def _report(self, state: SweepProgress) -> None:
+        if self.progress is not None:
+            self.progress(state)
+
+
+# ----------------------------------------------------------------------
+# Merging back into experiment.py shapes
+# ----------------------------------------------------------------------
+def merge_trace_grid(
+    results: Sequence[PointResult],
+) -> Dict[Tuple[str, float, int], Dict[str, RunResult]]:
+    """Group trace-point results into (traffic, error_scale, seed) cells,
+    each holding the per-design :class:`RunResult` map that
+    ``experiment.compare_designs`` returns."""
+    grid: Dict[Tuple[str, float, int], Dict[str, RunResult]] = {}
+    for result in results:
+        if result is None or result.run is None:
+            continue
+        cell = (result.point.traffic, result.point.error_scale, result.point.seed)
+        grid.setdefault(cell, {})[result.point.design] = result.run
+    return grid
+
+
+def merge_suite(results: Sequence[PointResult]) -> Dict[str, Dict[str, RunResult]]:
+    """Merge suite-point results into ``run_parsec_suite``'s
+    {benchmark: {design: RunResult}} shape."""
+    suite: Dict[str, Dict[str, RunResult]] = {}
+    for result in results:
+        if result is None or result.suite is None:
+            continue
+        for benchmark, run in result.suite.items():
+            suite.setdefault(benchmark, {})[result.point.design] = run
+    return suite
+
+
+def normalized_tables(
+    grid: Dict[Tuple[str, float, int], Dict[str, RunResult]],
+    metrics: Dict[str, Callable[[RunResult], float]],
+    baseline: str = "crc",
+) -> Dict[Tuple[str, float, int], Dict[str, Dict[str, float]]]:
+    """Per-cell normalized-to-baseline tables, via the same
+    ``normalize_to_baseline`` the figures use."""
+    return {
+        cell: {
+            name: normalize_to_baseline(designs, metric, baseline=baseline)
+            for name, metric in metrics.items()
+        }
+        for cell, designs in grid.items()
+    }

@@ -5,7 +5,12 @@ from repro.traffic.parsec import (
     BenchmarkProfile,
     ParsecTraceSynthesizer,
 )
-from repro.traffic.synthetic import PATTERNS, SyntheticTraffic, destination_for
+from repro.traffic.synthetic import (
+    PATTERNS,
+    NullTraffic,
+    SyntheticTraffic,
+    destination_for,
+)
 from repro.traffic.trace import TraceRecord, TraceReplayer, load_trace, save_trace
 
 __all__ = [
@@ -13,6 +18,7 @@ __all__ = [
     "BenchmarkProfile",
     "ParsecTraceSynthesizer",
     "PATTERNS",
+    "NullTraffic",
     "SyntheticTraffic",
     "destination_for",
     "TraceRecord",

@@ -1,0 +1,93 @@
+"""Seeded determinism guarantees.
+
+The sweep cache (:mod:`repro.sim.sweep`) keys results by (config, point)
+alone, which is only sound if a run's result is a pure function of those
+inputs: same seed, same config, same design -> byte-identical
+:class:`RunResult`, in this process, in a fresh process, and in a pool
+worker.  These tests pin that contract for every compared design — the
+RL policy, both static modes (CRC and ARQ+ECC), and the CART
+decision-tree baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim import (
+    DESIGN_ORDER,
+    default_design_factories,
+    run_design_on_trace,
+    scaled_config,
+    synthesize_benchmark_trace,
+)
+
+CONFIG_KWARGS = dict(
+    width=3, height=3, epoch_cycles=100, pretrain_cycles=1_500,
+    warmup_cycles=200,
+)
+TRACE_CYCLES = 400
+SEED = 13
+
+
+def measure(design: str) -> str:
+    """One full (pre-train, warm-up, measure) run, serialized to bytes."""
+    config = scaled_config(**CONFIG_KWARGS)
+    policy = default_design_factories(SEED)[design]()
+    records = synthesize_benchmark_trace("swaptions", config, TRACE_CYCLES, SEED)
+    result = run_design_on_trace(
+        policy, records, config, benchmark="swaptions", seed=SEED
+    )
+    return json.dumps(result.constructor_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("design", DESIGN_ORDER)
+def test_same_seed_byte_identical_result(design):
+    """Two fresh simulator runs with one seed agree to the byte."""
+    assert measure(design) == measure(design)
+
+
+@pytest.mark.parametrize("design", ("crc", "rl"))
+def test_different_seeds_differ(design):
+    """The seed actually reaches the platform: runs are not degenerate."""
+    config = scaled_config(**CONFIG_KWARGS)
+
+    def run(seed):
+        policy = default_design_factories(seed)[design]()
+        records = synthesize_benchmark_trace("swaptions", config, TRACE_CYCLES, seed)
+        result = run_design_on_trace(
+            policy, records, config, benchmark="swaptions", seed=seed
+        )
+        return json.dumps(result.constructor_dict(), sort_keys=True)
+
+    assert run(13) != run(14)
+
+
+def test_trace_synthesis_stable_across_interpreters():
+    """Traces must not depend on the interpreter's string-hash salt.
+
+    Regression guard for the former ``hash(benchmark)`` seeding: two
+    interpreters with different PYTHONHASHSEED values must synthesize
+    the identical trace, or sweep workers (and cache keys) diverge.
+    """
+    script = (
+        "import json\n"
+        "from repro.sim import scaled_config, synthesize_benchmark_trace\n"
+        f"config = scaled_config(**{CONFIG_KWARGS!r})\n"
+        f"records = synthesize_benchmark_trace('canneal', config, {TRACE_CYCLES}, {SEED})\n"
+        "print(json.dumps([(r.cycle, r.src, r.dest, r.size) for r in records]))\n"
+    )
+
+    def run_with_hashseed(value: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=value)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), *sys.path) if p
+        )
+        return subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout
+
+    assert run_with_hashseed("1") == run_with_hashseed("2")

@@ -1,0 +1,296 @@
+"""Tests for the parallel sweep runner and its result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim import (
+    DESIGN_ORDER,
+    SweepCache,
+    SweepPoint,
+    SweepProgress,
+    SweepRunner,
+    SweepSpec,
+    merge_suite,
+    merge_trace_grid,
+    normalized_tables,
+    point_cache_key,
+    run_parsec_suite,
+    scaled_config,
+)
+from repro.sim.sweep import CACHE_SCHEMA, MODE_DESIGNS
+
+
+def tiny_config(**overrides):
+    kwargs = dict(
+        width=3, height=3, epoch_cycles=100, pretrain_cycles=0,
+        warmup_cycles=200,
+    )
+    kwargs.update(overrides)
+    return scaled_config(**kwargs)
+
+
+def tiny_trace_spec(**overrides):
+    kwargs = dict(
+        config=tiny_config(),
+        kind="trace",
+        designs=("crc", "arq_ecc"),
+        traffics=("swaptions",),
+        cycles=400,
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestGridExpansion:
+    def test_trace_cross_product_order(self):
+        spec = SweepSpec(
+            config=tiny_config(),
+            kind="trace",
+            designs=("crc", "rl"),
+            traffics=("canneal", "x264"),
+            seeds=(0, 1),
+            error_scales=(1.0, 2.0),
+            cycles=500,
+        )
+        points = spec.expand()
+        assert len(points) == 2 * 2 * 2 * 2
+        # Deterministic order: traffic, scale, seed, design.
+        assert [
+            (p.traffic, p.error_scale, p.seed, p.design) for p in points[:4]
+        ] == [
+            ("canneal", 1.0, 0, "crc"),
+            ("canneal", 1.0, 0, "rl"),
+            ("canneal", 1.0, 1, "crc"),
+            ("canneal", 1.0, 1, "rl"),
+        ]
+        assert points[-1] == SweepPoint(
+            kind="trace", design="rl", traffic="x264", seed=1,
+            cycles=500, error_scale=2.0,
+        )
+
+    def test_load_rate_axis(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="load", designs=("crc",),
+            traffics=("uniform",), rates=(0.005, 0.01), cycles=400,
+        )
+        points = spec.expand()
+        assert [p.rate for p in points] == [0.005, 0.01]
+        assert all(p.kind == "load" for p in points)
+
+    def test_suite_joins_benchmarks_into_one_point_per_design(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="suite", designs=("crc", "dt"),
+            traffics=("canneal", "x264"), cycles=400,
+        )
+        points = spec.expand()
+        assert len(points) == 2
+        assert all(p.traffic == "canneal,x264" for p in points)
+
+    def test_mode_error_designs(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="mode_error", designs=MODE_DESIGNS,
+            traffics=("uniform",), error_probabilities=(0.0, 0.05), cycles=50,
+        )
+        assert len(spec.expand()) == 8
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            tiny_trace_spec(designs=("fpga",)).expand()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep kind"):
+            SweepSpec(config=tiny_config(), kind="quantum")
+
+    def test_spec_dict_round_trip(self):
+        spec = tiny_trace_spec(seeds=(3, 4), error_scales=(0.5,))
+        blob = json.dumps(spec.as_dict())
+        assert SweepSpec.from_dict(json.loads(blob)) == spec
+
+
+class TestCacheKeys:
+    def test_key_stable_across_calls(self):
+        spec = tiny_trace_spec()
+        point = spec.expand()[0]
+        assert point_cache_key(spec.config, point) == point_cache_key(
+            spec.config, point
+        )
+
+    def test_key_sensitive_to_point_fields(self):
+        config = tiny_config()
+        base = SweepPoint(
+            kind="trace", design="crc", traffic="canneal", seed=0, cycles=400
+        )
+        keys = {point_cache_key(config, base)}
+        for change in (
+            {"design": "rl"},
+            {"seed": 1},
+            {"traffic": "x264"},
+            {"cycles": 500},
+            {"error_scale": 2.0},
+        ):
+            keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
+        assert len(keys) == 6
+
+    def test_key_sensitive_to_config(self):
+        point = SweepPoint(
+            kind="trace", design="crc", traffic="canneal", seed=0, cycles=400
+        )
+        assert point_cache_key(tiny_config(), point) != point_cache_key(
+            tiny_config(warmup_cycles=300), point
+        )
+
+    def test_stale_schema_entries_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        point = SweepPoint(
+            kind="trace", design="crc", traffic="canneal", seed=0, cycles=400
+        )
+        key = point_cache_key(tiny_config(), point)
+        cache.store(key, point, {"run": None})
+        entry = json.loads(cache.path(key).read_text())
+        entry["schema"] = CACHE_SCHEMA - 1
+        cache.path(key).write_text(json.dumps(entry))
+        assert cache.load(key) is None
+
+    def test_corrupt_entries_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.root.mkdir(exist_ok=True)
+        cache.path("deadbeef").write_text("{truncated")
+        assert cache.load("deadbeef") is None
+
+
+class TestRunnerCaching:
+    def test_cache_hit_skips_simulation(self, tmp_path):
+        spec = tiny_trace_spec()
+        first = SweepRunner(spec, cache_dir=tmp_path)
+        results = first.run()
+        assert first.executed == 2
+        assert all(not r.cached for r in results)
+
+        second = SweepRunner(spec, cache_dir=tmp_path)
+        replayed = second.run()
+        assert second.executed == 0
+        assert all(r.cached for r in replayed)
+        for fresh, cached in zip(results, replayed):
+            assert fresh.run.constructor_dict() == cached.run.constructor_dict()
+
+    def test_resume_after_interrupt(self, tmp_path):
+        """Losing part of the cache re-runs only the missing points."""
+        spec = tiny_trace_spec()
+        runner = SweepRunner(spec, cache_dir=tmp_path)
+        runner.run()
+        victim = point_cache_key(spec.config, spec.expand()[1])
+        SweepCache(tmp_path).path(victim).unlink()
+
+        resumed = SweepRunner(spec, cache_dir=tmp_path)
+        results = resumed.run()
+        assert resumed.executed == 1
+        assert results[0].cached and not results[1].cached
+
+    def test_no_cache_runs_everything(self, tmp_path):
+        spec = tiny_trace_spec()
+        SweepRunner(spec, cache_dir=tmp_path).run()
+        runner = SweepRunner(spec, cache_dir=tmp_path, use_cache=False)
+        runner.run()
+        assert runner.executed == 2
+
+    def test_refresh_recomputes_but_stores(self, tmp_path):
+        spec = tiny_trace_spec()
+        SweepRunner(spec, cache_dir=tmp_path).run()
+        refresher = SweepRunner(spec, cache_dir=tmp_path, refresh=True)
+        refresher.run()
+        assert refresher.executed == 2
+        replay = SweepRunner(spec, cache_dir=tmp_path)
+        replay.run()
+        assert replay.executed == 0
+
+    def test_progress_reporting(self, tmp_path):
+        snapshots = []
+
+        def record(progress):
+            snapshots.append(
+                (progress.done, progress.cached, progress.running, progress.total)
+            )
+
+        spec = tiny_trace_spec()
+        SweepRunner(spec, cache_dir=tmp_path, progress=record).run()
+        assert snapshots[0] == (0, 0, 0, 2)
+        assert snapshots[-1] == (2, 0, 0, 2)
+
+        cached_run = SweepRunner(spec, cache_dir=tmp_path, progress=record)
+        snapshots.clear()
+        cached_run.run()
+        assert snapshots == [(2, 2, 0, 2)]
+
+    def test_eta_appears_after_first_executed_point(self):
+        progress = SweepProgress(total=4, jobs=2)
+        assert progress.eta_seconds() is None
+        progress.executed_seconds.append(2.0)
+        progress.done = 1
+        assert progress.eta_seconds() == pytest.approx(2.0 * 3 / 2)
+
+
+class TestParallelEqualsSerial:
+    def test_jobs1_and_jobs2_merge_identically(self, tmp_path):
+        spec = tiny_trace_spec(seeds=(0, 1))
+        serial = SweepRunner(spec, jobs=1, cache_dir=tmp_path / "serial")
+        parallel = SweepRunner(spec, jobs=2, cache_dir=tmp_path / "parallel")
+        serial_grid = merge_trace_grid(serial.run())
+        parallel_grid = merge_trace_grid(parallel.run())
+        assert serial.executed == parallel.executed == 4
+        assert serial_grid.keys() == parallel_grid.keys()
+        for cell in serial_grid:
+            for design in serial_grid[cell]:
+                assert (
+                    serial_grid[cell][design].constructor_dict()
+                    == parallel_grid[cell][design].constructor_dict()
+                )
+
+    def test_load_points_match_across_jobs(self, tmp_path):
+        spec = SweepSpec(
+            config=tiny_config(), kind="load", designs=("crc",),
+            traffics=("uniform",), rates=(0.005, 0.01), cycles=400,
+        )
+        serial = SweepRunner(spec, jobs=1, cache_dir=tmp_path / "s").run()
+        parallel = SweepRunner(spec, jobs=2, cache_dir=tmp_path / "p").run()
+        assert [r.load for r in serial] == [r.load for r in parallel]
+        assert all(r.load["latency"] > 0 for r in serial)
+
+
+class TestMerging:
+    def test_normalized_tables_match_experiment(self, tmp_path):
+        spec = tiny_trace_spec(designs=DESIGN_ORDER[:2])
+        grid = merge_trace_grid(SweepRunner(spec, cache_dir=tmp_path).run())
+        tables = normalized_tables(
+            grid, {"latency": lambda r: r.mean_latency}
+        )
+        cell = ("swaptions", 1.0, 0)
+        assert tables[cell]["latency"]["crc"] == pytest.approx(1.0)
+        assert tables[cell]["latency"]["arq_ecc"] > 0
+
+    def test_suite_points_equal_run_parsec_suite(self, tmp_path):
+        """The suite kind must preserve run_parsec_suite's exact
+        semantics: shared pre-training, policy state carried across
+        benchmarks in order."""
+        config = tiny_config(pretrain_cycles=1_500)
+        benchmarks = ("swaptions", "blackscholes")
+        spec = SweepSpec(
+            config=config, kind="suite", designs=("crc", "dt"),
+            traffics=benchmarks, seeds=(3,), cycles=400,
+        )
+        merged = merge_suite(SweepRunner(spec, jobs=2, cache_dir=tmp_path).run())
+
+        from repro.baselines import DecisionTreePolicy, crc_policy
+
+        reference = run_parsec_suite(
+            config, 400, benchmarks=benchmarks, seed=3,
+            designs={"crc": crc_policy, "dt": DecisionTreePolicy},
+        )
+        assert set(merged) == set(reference)
+        for bench in reference:
+            for design in reference[bench]:
+                assert (
+                    merged[bench][design].constructor_dict()
+                    == reference[bench][design].constructor_dict()
+                )

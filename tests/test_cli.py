@@ -67,7 +67,7 @@ class TestCommands:
 
     def test_sweep_json(self, capsys):
         code = main(
-            self._fast(["sweep", "--design", "crc", "--rates", "0.005,0.01", "--span", "400", "--json"])
+            self._fast(["sweep", "--design", "crc", "--rates", "0.005,0.01", "--span", "400", "--json", "--no-cache"])
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
@@ -76,3 +76,49 @@ class TestCommands:
         assert payload[0]["latency"] > 0
         # Higher load never reduces latency on a sane sweep.
         assert payload[1]["latency"] >= payload[0]["latency"] * 0.8
+
+
+class TestSweepEndToEnd:
+    """The sweep subcommand through the parallel cached runner."""
+
+    def _argv(self, cache_dir, extra=()):
+        return [
+            "sweep", "--design", "crc", "--pattern", "uniform",
+            "--rates", "0.005,0.01",
+            "--width", "2", "--height", "2",
+            "--epoch", "100", "--pretrain", "500",
+            "--warmup", "100", "--span", "300",
+            "--json", "--cache-dir", str(cache_dir),
+            *extra,
+        ]
+
+    def test_sweep_on_2x2_mesh(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        out, err = capsys.readouterr()
+        payload = json.loads(out)
+        assert [row["rate"] for row in payload] == [0.005, 0.01]
+        assert all(row["latency"] > 0 for row in payload)
+        assert all(not row["saturated"] for row in payload)
+        assert "2 point(s) simulated, 0 from cache" in err
+
+    def test_repeat_completes_from_cache(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert main(self._argv(tmp_path)) == 0
+        out, err = capsys.readouterr()
+        assert out == first
+        assert "0 point(s) simulated, 2 from cache" in err
+
+    def test_parallel_matches_serial(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path / "serial", ["--jobs", "1"])) == 0
+        serial = capsys.readouterr().out
+        assert main(self._argv(tmp_path / "parallel", ["--jobs", "2"])) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_text_output_marks_saturation_column(self, capsys, tmp_path):
+        argv = self._argv(tmp_path)
+        argv.remove("--json")
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "rate" in out and "latency" in out and "throughput" in out
