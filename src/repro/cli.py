@@ -1,6 +1,6 @@
 """Command-line interface: run experiments without writing Python.
 
-Three subcommands:
+Four subcommands:
 
 ``run``
     One (design, benchmark) measurement with the full phase structure.
@@ -9,19 +9,24 @@ Three subcommands:
 ``sweep``
     The classic NoC load sweep: latency vs offered load for one design,
     showing where the saturation knee falls.
+``chaos``
+    Graceful-degradation campaigns: routing policies crossed with
+    hard-fault schedules (link/router kills, error bursts), reporting
+    delivered fraction, reroutes, drops, and post-fault latency.
 
-``compare`` and ``sweep`` are grids of independent simulations, so both
-go through :mod:`repro.sim.sweep`: ``--jobs N`` fans points out over a
-process pool (``--jobs 1`` runs the identical code serially), and every
-finished point is cached under ``--cache-dir`` (default
-``.sweep_cache/``) so re-runs and interrupted grids resume without
-re-simulating.  ``--no-cache`` forces fresh simulations.
+``compare``, ``sweep``, and ``chaos`` are grids of independent
+simulations, so all go through :mod:`repro.sim.sweep`: ``--jobs N`` fans
+points out over a process pool (``--jobs 1`` runs the identical code
+serially), and every finished point is cached under ``--cache-dir``
+(default ``.sweep_cache/``) so re-runs and interrupted grids resume
+without re-simulating.  ``--no-cache`` forces fresh simulations.
 
 Examples::
 
     python -m repro.cli run --design rl --benchmark canneal
     python -m repro.cli compare --benchmark x264 --width 4 --height 4
     python -m repro.cli sweep --design arq_ecc --pattern transpose --jobs 4
+    python -m repro.cli chaos --routings xy,adaptive --fault-specs 'link@500:5E'
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ from repro.sim import (
     stderr_progress,
     synthesize_benchmark_trace,
 )
+from repro.faults import parse_fault_spec
+from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.sim.sweep import DEFAULT_CACHE_DIR
 from repro.traffic import PARSEC_PROFILES
 
@@ -140,6 +147,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--span", type=int, default=3_000, help="injection cycles per point")
     _add_platform_args(sweep)
     _add_sweep_args(sweep)
+
+    chaos = sub.add_parser(
+        "chaos", help="routing policies under hard-fault campaigns"
+    )
+    chaos.add_argument(
+        "--routings", default="xy,adaptive",
+        help=f"comma-separated routing policies ({', '.join(sorted(ROUTING_FUNCTIONS))})",
+    )
+    chaos.add_argument(
+        "--fault-specs", default="link@500:5E",
+        help="'|'-separated campaign specs, e.g. "
+        "'link@500:5E|router@800:7;burst@300+200:0.2' ('' = healthy baseline)",
+    )
+    chaos.add_argument(
+        "--rate", type=float, default=0.1,
+        help="per-cycle uniform packet injection probability",
+    )
+    chaos.add_argument("--span", type=int, default=3_000, help="injection cycles per point")
+    _add_platform_args(chaos)
+    _add_sweep_args(chaos)
 
     return parser
 
@@ -241,9 +268,71 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    config = _config_from_args(args)
+    routings = tuple(r.strip() for r in args.routings.split(",") if r.strip())
+    if not routings:
+        raise SystemExit("no routing policies given")
+    for routing in routings:
+        if routing not in ROUTING_FUNCTIONS:
+            raise SystemExit(
+                f"unknown routing {routing!r}; pick one of "
+                f"{', '.join(sorted(ROUTING_FUNCTIONS))}"
+            )
+    fault_specs = tuple(s.strip() for s in args.fault_specs.split("|"))
+    for fault_spec in fault_specs:
+        try:
+            parse_fault_spec(fault_spec)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    spec = SweepSpec(
+        config=config,
+        kind="chaos",
+        designs=routings,
+        traffics=("uniform",),
+        seeds=(args.seed,),
+        rates=(args.rate,),
+        fault_specs=fault_specs,
+        cycles=args.span,
+    )
+    runner = _make_runner(spec, args)
+    results = runner.run()
+    print(
+        f"[chaos] {runner.executed} point(s) simulated, "
+        f"{len(results) - runner.executed} from cache",
+        file=sys.stderr,
+    )
+    if args.json:
+        print(json.dumps([p.chaos for p in results], indent=2))
+        return 0
+    print(
+        f"{'routing':>9s} {'fault spec':>28s} {'delivered':>10s} {'dropped':>8s} "
+        f"{'reroutes':>9s} {'post-lat':>9s}  status"
+    )
+    worst = 0
+    for p in results:
+        c = p.chaos
+        diagnosis = c.get("diagnosis")
+        status = diagnosis["error"] if diagnosis else "ok"
+        if diagnosis:
+            worst = 1
+        spec_text = c["fault_spec"] or "(healthy)"
+        print(
+            f"{c['routing']:>9s} {spec_text:>28s} {c['delivered_fraction']:>10.3f} "
+            f"{c['messages_dropped']:>8d} {c['reroutes']:>9d} "
+            f"{c['post_fault_latency']:>9.1f}  {status}"
+        )
+    return worst
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "compare": cmd_compare, "sweep": cmd_sweep}
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "sweep": cmd_sweep,
+        "chaos": cmd_chaos,
+    }
     return handlers[args.command](args)
 
 

@@ -5,14 +5,24 @@ Stand-ins for the paper's VARIUS (timing-error probability), HotSpot
 wired into the control loop by :mod:`repro.sim.simulator`.
 """
 
+from repro.faults.hardfaults import (
+    HardFaultEvent,
+    HardFaultModel,
+    HardFaultSchedule,
+    parse_fault_spec,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.thermal import ThermalGrid
 from repro.faults.varius import VariusModel, VariusParams, gaussian_tail
 
 __all__ = [
     "FaultInjector",
+    "HardFaultEvent",
+    "HardFaultModel",
+    "HardFaultSchedule",
     "ThermalGrid",
     "VariusModel",
     "VariusParams",
     "gaussian_tail",
+    "parse_fault_spec",
 ]

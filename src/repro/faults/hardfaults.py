@@ -1,0 +1,328 @@
+"""Hard-fault campaigns: permanent kills and transient bursts on a schedule.
+
+The soft-error substrate (:mod:`repro.faults.varius`) models *parametric*
+degradation — timing-error probabilities that rise with temperature.  This
+module models the *catastrophic* end of the fault spectrum the
+fault-tolerant NoC literature evaluates against: links and routers that
+die outright, plus transient error bursts (particle strikes, voltage
+droops) that temporarily inflate every channel's error probability.
+
+A campaign is a :class:`HardFaultSchedule` — an ordered list of
+:class:`HardFaultEvent` — applied to a live network by
+:class:`HardFaultModel`.  Three properties matter for the sweep harness:
+
+* **Determinism** — a schedule is a pure value: parsed from / formatted to
+  a canonical spec string, and :meth:`HardFaultSchedule.sample` derives
+  events from an explicit seed with arithmetic mixing only.  Identical
+  (config, schedule) pairs therefore produce identical results in any
+  process, which the on-disk sweep cache depends on.
+* **Idempotence** — killing a dead link/router is a no-op, so schedules
+  with overlapping events (a router kill implies its link kills) apply
+  cleanly.
+* **Observability** — the model records what it applied and snapshots the
+  latency accumulator at the first fault so post-fault latency can be
+  separated from the healthy baseline.
+
+Spec grammar (one event per ``;``-separated clause)::
+
+    link@<cycle>:<node><PORT>     e.g. link@500:5E   (kill 5 -> EAST at 500)
+    router@<cycle>:<node>         e.g. router@800:7
+    burst@<cycle>+<duration>:<p>  e.g. burst@300+200:0.2
+
+Ports are the compass letters E/W/N/S.  The empty string is the healthy
+baseline (no events).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.topology import MeshTopology, Port
+
+__all__ = [
+    "HardFaultEvent",
+    "HardFaultSchedule",
+    "HardFaultModel",
+    "parse_fault_spec",
+]
+
+_PORT_LETTERS = {
+    "E": Port.EAST,
+    "W": Port.WEST,
+    "N": Port.NORTH,
+    "S": Port.SOUTH,
+}
+_LETTER_OF_PORT = {int(v): k for k, v in _PORT_LETTERS.items()}
+
+
+class HardFaultEvent:
+    """One scheduled fault: a link kill, a router kill, or an error burst."""
+
+    __slots__ = ("kind", "cycle", "node", "port", "duration", "probability")
+
+    KINDS = ("link", "router", "burst")
+
+    def __init__(
+        self,
+        kind: str,
+        cycle: int,
+        node: int = 0,
+        port: Optional[Port] = None,
+        duration: int = 0,
+        probability: float = 0.0,
+    ) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if cycle < 0:
+            raise ValueError("fault cycle cannot be negative")
+        if kind == "link" and port is None:
+            raise ValueError("link faults need a port")
+        if kind == "burst":
+            if duration <= 0:
+                raise ValueError("burst duration must be positive")
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError("burst probability must be in [0, 1]")
+        self.kind = kind
+        self.cycle = cycle
+        self.node = node
+        self.port = port
+        self.duration = duration
+        self.probability = probability
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Canonical spec clause (inverse of :func:`parse_fault_spec`)."""
+        if self.kind == "link":
+            return f"link@{self.cycle}:{self.node}{_LETTER_OF_PORT[int(self.port)]}"
+        if self.kind == "router":
+            return f"router@{self.cycle}:{self.node}"
+        return f"burst@{self.cycle}+{self.duration}:{self.probability:g}"
+
+    def sort_key(self) -> Tuple[int, str, int, int]:
+        return (self.cycle, self.kind, self.node, int(self.port or 0))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HardFaultEvent):
+            return NotImplemented
+        return self.format() == other.format()
+
+    def __hash__(self) -> int:
+        return hash(self.format())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HardFaultEvent({self.format()!r})"
+
+
+def parse_fault_spec(spec: str) -> List[HardFaultEvent]:
+    """Parse a ``;``-separated spec string into events (sorted by cycle)."""
+    events: List[HardFaultEvent] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        try:
+            head, arg = clause.split(":", 1)
+            kind, when = head.split("@", 1)
+            kind = kind.strip()
+            if kind == "link":
+                letter = arg[-1].upper()
+                if letter not in _PORT_LETTERS:
+                    raise ValueError(
+                        f"bad port letter {letter!r} (expected one of "
+                        f"{''.join(sorted(_PORT_LETTERS))})"
+                    )
+                node, port = int(arg[:-1]), _PORT_LETTERS[letter]
+                events.append(HardFaultEvent("link", int(when), node, port))
+            elif kind == "router":
+                events.append(HardFaultEvent("router", int(when), int(arg)))
+            elif kind == "burst":
+                cycle, duration = when.split("+", 1)
+                events.append(
+                    HardFaultEvent(
+                        "burst",
+                        int(cycle),
+                        duration=int(duration),
+                        probability=float(arg),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except (KeyError, IndexError, ValueError) as exc:
+            raise ValueError(f"bad fault clause {clause!r}: {exc}") from None
+    events.sort(key=HardFaultEvent.sort_key)
+    return events
+
+
+class HardFaultSchedule:
+    """An ordered, deterministic campaign of hard-fault events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Optional[List[HardFaultEvent]] = None) -> None:
+        self.events = sorted(events or [], key=HardFaultEvent.sort_key)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "HardFaultSchedule":
+        return cls(parse_fault_spec(spec))
+
+    def format(self) -> str:
+        """Canonical spec string: ``parse(format())`` round-trips."""
+        return ";".join(e.format() for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HardFaultSchedule):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HardFaultSchedule({self.format()!r})"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        topology: MeshTopology,
+        seed: int,
+        link_rate: float = 0.0,
+        router_rate: float = 0.0,
+        horizon: int = 100_000,
+        max_events: int = 8,
+    ) -> "HardFaultSchedule":
+        """Sample a campaign from per-cycle failure rates.
+
+        Each directed link (in canonical ``topology.channels()`` order)
+        and each router draws one geometric failure time from its own
+        arithmetically-mixed seed, so the result is a pure function of
+        ``(topology, seed, rates, horizon)`` — independent of process,
+        interpreter hash randomization, and call order.
+        """
+        events: List[HardFaultEvent] = []
+        if link_rate > 0.0:
+            for index, spec in enumerate(topology.channels()):
+                rng = random.Random(seed * 1_000_003 + index * 7_919 + 101)
+                cycle = _geometric(rng, link_rate)
+                if cycle is not None and cycle < horizon:
+                    events.append(
+                        HardFaultEvent("link", cycle, spec.src, Port(spec.src_port))
+                    )
+        if router_rate > 0.0:
+            for node in range(topology.num_nodes):
+                rng = random.Random(seed * 1_000_003 + node * 104_729 + 977)
+                cycle = _geometric(rng, router_rate)
+                if cycle is not None and cycle < horizon:
+                    events.append(HardFaultEvent("router", cycle, node))
+        events.sort(key=HardFaultEvent.sort_key)
+        return cls(events[:max_events])
+
+
+def _geometric(rng: random.Random, rate: float) -> Optional[int]:
+    """First-success cycle of a per-cycle Bernoulli(rate) process."""
+    if rate >= 1.0:
+        return 0
+    u = rng.random()
+    if u <= 0.0:
+        return None
+    return int(math.log(u) / math.log(1.0 - rate))
+
+
+class HardFaultModel:
+    """Applies a :class:`HardFaultSchedule` to a live network.
+
+    Install as ``network.hard_faults``; the network calls :meth:`tick`
+    at the top of every cycle.  Burst events temporarily override the
+    error probability of every alive channel and restore the fault
+    substrate's value when they expire.
+    """
+
+    __slots__ = (
+        "network",
+        "schedule",
+        "applied",
+        "first_fault_cycle",
+        "_pending",
+        "_burst_restore",
+        "_burst_until",
+        "_latency_count_at_fault",
+        "_latency_total_at_fault",
+    )
+
+    def __init__(self, network, schedule: HardFaultSchedule) -> None:
+        self.network = network
+        self.schedule = schedule
+        #: events actually applied (spec clause, cycle) in order
+        self.applied: List[Tuple[str, int]] = []
+        self.first_fault_cycle: Optional[int] = None
+        self._pending: List[HardFaultEvent] = list(schedule.events)
+        self._burst_restore: Dict[Tuple[int, int], float] = {}
+        self._burst_until: Optional[int] = None
+        self._latency_count_at_fault = 0
+        self._latency_total_at_fault = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if self._burst_until is not None and now >= self._burst_until:
+            self._end_burst()
+        while self._pending and self._pending[0].cycle <= now:
+            event = self._pending.pop(0)
+            self._apply(event, now)
+
+    def _apply(self, event: HardFaultEvent, now: int) -> None:
+        if self.first_fault_cycle is None:
+            self.first_fault_cycle = now
+            latency = self.network.stats.latency
+            self._latency_count_at_fault = latency.count
+            self._latency_total_at_fault = latency.total
+        if event.kind == "link":
+            self.network.kill_link(event.node, event.port)
+        elif event.kind == "router":
+            self.network.kill_router(event.node)
+        else:
+            self._start_burst(event, now)
+        self.applied.append((event.format(), now))
+
+    # ------------------------------------------------------------------
+    def _start_burst(self, event: HardFaultEvent, now: int) -> None:
+        if self._burst_until is not None:
+            self._end_burst()
+        for key, channel in self.network.channels.items():
+            if not channel.alive:
+                continue
+            model = channel.error_model
+            self._burst_restore[key] = model.event_probability
+            model.event_probability = min(
+                1.0, max(model.event_probability, event.probability)
+            )
+        self._burst_until = now + event.duration
+
+    def _end_burst(self) -> None:
+        for key, probability in self._burst_restore.items():
+            channel = self.network.channels.get(key)
+            if channel is not None and channel.alive:
+                channel.error_model.event_probability = probability
+        self._burst_restore.clear()
+        self._burst_until = None
+
+    # ------------------------------------------------------------------
+    @property
+    def post_fault_latency(self) -> float:
+        """Mean latency of packets delivered after the first fault."""
+        latency = self.network.stats.latency
+        count = latency.count - self._latency_count_at_fault
+        if self.first_fault_cycle is None or count <= 0:
+            return 0.0
+        return (latency.total - self._latency_total_at_fault) / count
+
+    @property
+    def pre_fault_latency(self) -> float:
+        """Mean latency of packets delivered before the first fault."""
+        if self.first_fault_cycle is None:
+            return self.network.stats.latency.mean
+        if self._latency_count_at_fault == 0:
+            return 0.0
+        return self._latency_total_at_fault / self._latency_count_at_fault

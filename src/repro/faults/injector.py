@@ -14,6 +14,7 @@ events for stable statistics.  Benches document the value they use.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.faults.varius import VariusModel
@@ -46,6 +47,10 @@ class FaultInjector:
         self.error_scale = error_scale
         #: last probabilities applied, keyed like network.channels
         self.current: Dict[Tuple[int, int], float] = {}
+        #: refreshes where p * error_scale clipped at 1.0 — a saturated
+        #: probability means error_scale is too aggressive for the die
+        #: conditions and relative comparisons between channels are lost
+        self.saturation_events = 0
 
     def refresh(self, temperatures: Sequence[float]) -> None:
         """Recompute per-channel error probabilities for the next epoch."""
@@ -62,10 +67,25 @@ class FaultInjector:
                 )
                 cache[src] = (p, p_relaxed)
             p, p_relaxed = cache[src]
-            scaled = min(1.0, p * self.error_scale)
-            model.event_probability = scaled
-            model.relax_factor = (p_relaxed / p) if p > 0.0 else 0.0
-            self.current[(src, _port)] = scaled
+            raw = p * self.error_scale
+            if raw > 1.0:
+                if self.saturation_events == 0:
+                    warnings.warn(
+                        f"error probability saturated: p={p:g} * "
+                        f"error_scale={self.error_scale:g} = {raw:g} > 1; "
+                        "channel error rates are clipped and no longer "
+                        "proportional to die conditions",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                self.saturation_events += 1
+            model.event_probability = min(1.0, raw)
+            # p_relaxed can exceed p in pathological corners of the VARIUS
+            # fit; the relax factor is a probability multiplier and must
+            # stay inside [0, 1].
+            ratio = (p_relaxed / p) if p > 0.0 else 0.0
+            model.relax_factor = min(1.0, max(0.0, ratio))
+            self.current[(src, _port)] = model.event_probability
 
     def set_uniform(self, probability: float, relax_factor: float = 0.0) -> None:
         """Bypass the physical models with a flat probability (testing)."""

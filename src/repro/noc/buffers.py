@@ -34,6 +34,10 @@ class VCState(enum.Enum):
     WAITING_VC = "waiting_vc"
     #: downstream VC allocated; flits compete in switch allocation (SA)
     ACTIVE = "active"
+    #: hard-fault path: the packet is being discarded in place — flits
+    #: are popped and dropped (credits still refunded upstream) until the
+    #: tail arrives, then the VC returns to IDLE
+    DRAINING = "draining"
 
 
 class VirtualChannel:
@@ -48,6 +52,8 @@ class VirtualChannel:
         "out_port",
         "out_vc",
         "stage_ready_cycle",
+        "current_packet",
+        "sent",
     )
 
     def __init__(self, port: Port, vc_id: int, depth: int) -> None:
@@ -63,6 +69,11 @@ class VirtualChannel:
         #: earliest cycle the *next* pipeline stage may act on this VC —
         #: enforces the one-stage-per-cycle timing of the 4-stage router.
         self.stage_ready_cycle = 0
+        #: packet occupying this VC (set at head arrival) — lets the
+        #: hard-fault sweep and the watchdog identify worms in place
+        self.current_packet = None
+        #: flits of the current packet already forwarded out of this VC
+        self.sent = 0
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +113,8 @@ class VirtualChannel:
         self.state = VCState.IDLE
         self.out_port = None
         self.out_vc = None
+        self.current_packet = None
+        self.sent = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

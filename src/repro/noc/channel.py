@@ -128,6 +128,7 @@ class Channel:
         "spec",
         "latency",
         "error_model",
+        "alive",
         "_data",
         "_acks",
         "_credits",
@@ -139,6 +140,9 @@ class Channel:
         self.spec = spec
         self.latency = latency
         self.error_model = error_model
+        #: cleared by Network.kill_link — a dead channel swallows all
+        #: traffic (data and sideband) instead of delivering it
+        self.alive = True
         self._data: List[Transmission] = []
         #: (deliver_cycle, AckMessage) back toward the sender
         self._acks: List[Tuple[int, AckMessage]] = []
@@ -152,13 +156,16 @@ class Channel:
         return bool(self._data or self._acks or self._credits)
 
     def send(self, transmission: Transmission) -> None:
-        self._data.append(transmission)
+        if self.alive:
+            self._data.append(transmission)
 
     def send_ack(self, message: AckMessage, deliver_at: int) -> None:
-        self._acks.append((deliver_at, message))
+        if self.alive:
+            self._acks.append((deliver_at, message))
 
     def send_credit(self, vc: int, deliver_at: int) -> None:
-        self._credits.append((deliver_at, vc))
+        if self.alive:
+            self._credits.append((deliver_at, vc))
 
     # ------------------------------------------------------------------
     def pop_arrivals(self, now: int) -> List[Transmission]:

@@ -53,6 +53,8 @@ class NetworkInterface:
         self.topology = topology
         self.crc = crc
         self.stats = stats
+        #: cleared when this NI's router is hard-killed
+        self.alive = True
         router.ejection_sink = self._eject
 
         #: messages waiting to start injection (fresh plus retransmitted)
@@ -79,6 +81,12 @@ class NetworkInterface:
         """Accept a new message from the core for injection."""
         if packet.src != self.id:
             raise ValueError(f"packet source {packet.src} does not match NI {self.id}")
+        self.stats.messages_created += 1
+        if not self.alive:
+            # A dead core cannot send: account the message as
+            # immediately dropped so conservation still balances.
+            self.stats.messages_dropped += 1
+            return
         if packet.crc_check is None:
             packet.crc_check = self.crc.compute(
                 packet.combined_payload(), packet.total_bits
@@ -89,11 +97,50 @@ class NetworkInterface:
 
     def schedule_retransmission(self, message_id: int, due_cycle: int) -> None:
         """Destination asked for a fresh copy of ``message_id``."""
+        if not self.alive:
+            # A dead source can never retransmit: the message is lost.
+            self.drop_message(message_id)
+            return
         heapq.heappush(self._retx_due, (due_cycle, message_id))
 
     def release(self, message_id: int) -> None:
         """Delivery confirmed: drop the stored copy."""
         self._store.pop(message_id, None)
+
+    def drop_message(self, message_id: int) -> bool:
+        """Abandon a message for good (unreachable or dead endpoint).
+
+        Returns True if the message was still outstanding here; the
+        messages_dropped counter moves only in that case, so a message is
+        never double-counted between racing drop paths.
+        """
+        if self._store.pop(message_id, None) is None:
+            return False
+        self.stats.messages_dropped += 1
+        return True
+
+    def retire(self, mark) -> None:
+        """This NI's router died: abandon all local work in progress.
+
+        ``mark`` flags in-network packets as lost (the network then
+        routes them through its recover-or-drop accounting); messages
+        that exist only in local queues are dropped directly.
+        """
+        self.alive = False
+        if self._current is not None:
+            mark(self._current)
+            self._current = None
+            self._current_vc = None
+        for packet in self._inject_queue:
+            mark(packet)
+        self._inject_queue.clear()
+        while self._eject_queue:
+            _, flit = self._eject_queue.popleft()
+            mark(flit.packet)
+        self._rx_count.clear()
+        while self._retx_due:
+            _, message_id = heapq.heappop(self._retx_due)
+            self.drop_message(message_id)
 
     @property
     def outstanding_messages(self) -> int:
@@ -107,6 +154,8 @@ class NetworkInterface:
 
     def step_inject(self, now: int) -> None:
         """Inject at most one flit into the local router port."""
+        if not self.alive:
+            return
         while self._retx_due and self._retx_due[0][0] <= now:
             _, message_id = heapq.heappop(self._retx_due)
             original = self._store.get(message_id)
@@ -152,9 +201,18 @@ class NetworkInterface:
 
     def step_eject(self, now: int) -> None:
         """Consume ejected flits; finish packets on their tail flit."""
+        if not self.alive:
+            return
         while self._eject_queue and self._eject_queue[0][0] <= now:
             _, flit = self._eject_queue.popleft()
             packet = flit.packet
+            if packet.lost:
+                # Hard-fault carcass (possibly terminated by a ghost
+                # tail): the flit count cannot add up and the message is
+                # already accounted for — discard, never reassemble.
+                if flit.is_tail:
+                    self._rx_count.pop(packet.pid, None)
+                continue
             self._rx_count[packet.pid] = self._rx_count.get(packet.pid, 0) + 1
             if not flit.is_tail:
                 continue

@@ -30,14 +30,19 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.coding.crc import CRC
 from repro.core.modes import OperationMode
 from repro.noc.channel import Channel, ChannelErrorModel
-from repro.noc.interface import NetworkInterface
+from repro.noc.faultstate import FaultState
+from repro.noc.interface import SIDEBAND_BASE_LATENCY, NetworkInterface
 from repro.noc.packet import Packet
 from repro.noc.router import OutputLink, Router
-from repro.noc.routing import RoutingFunction, xy_route
+from repro.noc.routing import RoutingFunction, resolve_routing_policy, xy_route
 from repro.noc.stats import NetworkStats
-from repro.noc.topology import MeshTopology, Port
+from repro.noc.topology import OPPOSITE_PORT, MeshTopology, Port
+from repro.noc.watchdog import NetworkWatchdog, UnreachableDestinationError
 
 __all__ = ["Network"]
+
+#: Directed links a router terminates (LOCAL has no channel).
+_LINK_PORTS = (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH)
 
 
 class Network:
@@ -56,17 +61,51 @@ class Network:
         rng: Optional[random.Random] = None,
         error_severity: Tuple[float, float, float] = (0.33, 0.47, 0.20),
         relax_factor: float = 1e-4,
+        routing_seed: int = 0,
+        watchdog_interval: int = 256,
+        deadlock_cycles: int = 4096,
+        max_packet_age: int = 500_000,
+        unreachable_action: str = "drop",
     ) -> None:
+        if unreachable_action not in ("drop", "raise"):
+            raise ValueError("unreachable_action must be 'drop' or 'raise'")
         self.topology = topology
         self.flit_bits = flit_bits
         self.rng = rng if rng is not None else random.Random(0)
         self.stats = NetworkStats()
         self.now = 0
+        self.unreachable_action = unreachable_action
 
+        #: live hard-fault topology shared by routers and routing functions
+        self.fault_state = FaultState(topology)
+        self.routing_policy = resolve_routing_policy(routing_fn)
         self.routers: List[Router] = [
-            Router(i, topology, routing_fn, num_vcs, vc_depth, arq_capacity)
+            Router(
+                i,
+                topology,
+                self.routing_policy.build(topology, i, routing_seed, self.fault_state),
+                num_vcs,
+                vc_depth,
+                arq_capacity,
+                fault_state=self.fault_state,
+            )
             for i in range(topology.num_nodes)
         ]
+        for router in self.routers:
+            router.drop_sink = self._rc_drop
+
+        self.watchdog: Optional[NetworkWatchdog] = (
+            NetworkWatchdog(
+                self,
+                interval=watchdog_interval,
+                deadlock_cycles=deadlock_cycles,
+                max_packet_age=max_packet_age,
+            )
+            if watchdog_interval > 0
+            else None
+        )
+        #: optional hard-fault campaign ticked at the top of every cycle
+        self.hard_faults = None
 
         #: channels keyed by (source router, source port)
         self.channels: Dict[Tuple[int, int], Channel] = {}
@@ -114,6 +153,8 @@ class Network:
     # ------------------------------------------------------------------
     def cycle(self) -> None:
         now = self.now
+        if self.hard_faults is not None:
+            self.hard_faults.tick(now)
 
         for (src, src_port), channel in self.channels.items():
             if channel._credits or channel._acks:
@@ -141,10 +182,158 @@ class Network:
 
         self.now = now + 1
         self.stats.cycles += 1
+        watchdog = self.watchdog
+        if watchdog is not None and self.now % watchdog.interval == 0:
+            watchdog.check(self.now)
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.cycle()
+
+    # ------------------------------------------------------------------
+    # Hard faults
+    # ------------------------------------------------------------------
+    def _drop_message(self, packet: Packet) -> bool:
+        """Abandon ``packet``'s message at its source NI (idempotent)."""
+        return self.interfaces[packet.src].drop_message(packet.message_id)
+
+    def _rc_drop(self, packet: Packet, router_id: int, unreachable: bool) -> None:
+        """Router RC stage hit a dead port / unreachable destination.
+
+        The in-network attempt is destroyed either way.  RC drops are
+        *permanent* message drops — a deterministic router would hit the
+        same dead port on every retry, so retrying would never converge.
+        """
+        self.stats.packets_dropped += 1
+        if unreachable:
+            self.stats.unreachable_drops += 1
+        self._drop_message(packet)
+        if unreachable and self.unreachable_action == "raise":
+            raise UnreachableDestinationError(
+                f"packet {packet.pid} at router {router_id}: destination "
+                f"{packet.dest} unreachable from {packet.src}",
+                report={
+                    "kind": "unreachable_destination",
+                    "router": router_id,
+                    "packet": packet.pid,
+                    "src": packet.src,
+                    "dest": packet.dest,
+                    "cycle": self.now,
+                    "dead_links": sorted(self.fault_state.dead_links),
+                    "dead_nodes": sorted(self.fault_state.dead_nodes),
+                },
+            )
+
+    def _recover_or_drop(self, packet: Packet, now: int) -> None:
+        """A hard fault destroyed this in-flight attempt.
+
+        If the source still holds the message and an alive path exists,
+        schedule one source retransmission (the paper's end-to-end
+        recovery, reused for hard faults); otherwise abandon the message.
+        """
+        self.stats.packets_dropped += 1
+        source = self.interfaces[packet.src]
+        if (
+            source.alive
+            and packet.message_id in source._store
+            and self.fault_state.reachable(packet.src, packet.dest)
+        ):
+            self.stats.fault_recoveries += 1
+            delay = (
+                self.topology.hop_distance(packet.src, packet.dest)
+                + SIDEBAND_BASE_LATENCY
+            )
+            source.schedule_retransmission(packet.message_id, now + delay)
+        else:
+            self._drop_message(packet)
+
+    def kill_link(self, src: int, port: Port) -> bool:
+        """Permanently kill the directed link ``src -> port``.
+
+        Sweeps every place a flit of a now-truncated worm can live —
+        in-flight on the channel, unacknowledged in the sender's ARQ
+        buffer, queued in sender/receiver VCs — marks the affected
+        packets lost, and routes each through recover-or-drop.  Returns
+        False if the link does not exist or is already dead.
+        """
+        port = Port(port)
+        channel = self.channels.get((src, port))
+        if channel is None or not channel.alive:
+            return False
+        now = self.now
+        self.fault_state.kill_link(src, int(port))
+
+        lost: List[Packet] = []
+
+        def mark(packet: Optional[Packet]) -> None:
+            if packet is not None and not packet.lost:
+                packet.lost = True
+                lost.append(packet)
+
+        sender = self.routers[src]
+        receiver = self.routers[channel.spec.dst]
+        dst_port = int(channel.spec.dst_port)
+
+        # 1. In-flight traffic dies on the wire.  Mode-2 duplicates carry
+        # no credit and may shadow an already-accepted original, so only
+        # primary transmissions mark their packet lost.
+        for t in channel._data:
+            if not t.duplicate:
+                mark(t.flit.packet)
+        channel._data.clear()
+        channel._acks.clear()
+        channel._credits.clear()
+        channel.alive = False
+
+        # 2. Sender link state: every ARQ entry the receiver has not yet
+        # accepted is a flit that will never cross.
+        link = sender.outputs[int(port)]
+        link.alive = False
+        expected = receiver.expected_seq.get(dst_port, 0)
+        for seq, t in link.arq:
+            if seq >= expected:
+                mark(t.flit.packet)
+        link.arq.flush()
+        link.pending_retx.clear()
+        if int(port) in sender._retx_ports:
+            sender._retx_ports.remove(int(port))
+        link.vc_allocated = [False] * len(link.vc_allocated)
+        link.vc_draining = [False] * len(link.vc_draining)
+
+        # 3/4. Pipeline sweeps: unwind or truncate worms on both ends.
+        sender.handle_dead_output(int(port), now, mark)
+        receiver.handle_dead_input(dst_port, now)
+
+        self.stats.link_kills += 1
+        for packet in lost:
+            self._recover_or_drop(packet, now)
+        return True
+
+    def kill_router(self, node: int) -> bool:
+        """Permanently kill router ``node``, its NI, and incident links."""
+        if node in self.fault_state.dead_nodes:
+            return False
+        now = self.now
+        self.fault_state.kill_node(node)
+        for port in _LINK_PORTS:
+            self.kill_link(node, port)
+            neighbour = self.topology.neighbour(node, port)
+            if neighbour is not None:
+                self.kill_link(neighbour, OPPOSITE_PORT[port])
+
+        lost: List[Packet] = []
+
+        def mark(packet: Optional[Packet]) -> None:
+            if packet is not None and not packet.lost:
+                packet.lost = True
+                lost.append(packet)
+
+        self.routers[node].flush_all(mark)
+        self.interfaces[node].retire(mark)
+        self.stats.router_kills += 1
+        for packet in lost:
+            self._recover_or_drop(packet, now)
+        return True
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers
@@ -165,6 +354,12 @@ class Network:
             self.stats.escaped_errors += epoch.escaped_errors
             self.stats.duplicate_flits += epoch.duplicate_flits
             self.stats.dropped_flits += epoch.dropped_flits
+            self.stats.reroutes += epoch.reroutes
+            # Monotonic activity base for the deadlock watchdog: epoch
+            # resets must never make observed activity go backwards.
+            self.stats.buffer_ops += (
+                epoch.buffer_writes + epoch.buffer_reads + epoch.flit_retransmissions
+            )
             self.stats.mode_cycles[int(router.mode)] += epoch_cycles
 
     def reset_epoch_counters(self) -> None:

@@ -68,6 +68,7 @@ class Flit:
         "vc",
         "hops",
         "injected_at",
+        "ghost",
     )
 
     def __init__(
@@ -85,6 +86,10 @@ class Flit:
         self.vc: Optional[int] = None
         self.hops = 0
         self.injected_at: Optional[int] = None
+        #: synthesized tail standing in for flits destroyed by a hard
+        #: fault — keeps wormhole state machines consistent while the
+        #: truncated packet drains toward discard
+        self.ghost = False
 
     # ------------------------------------------------------------------
     @property
@@ -160,6 +165,7 @@ class Packet:
         "payloads",
         "flits",
         "path",
+        "lost",
     )
 
     _next_pid = 0
@@ -198,6 +204,10 @@ class Packet:
         #: router ids visited by the head flit (filled in by RC); used to
         #: attribute delivered-packet latency to routers for the RL reward
         self.path: List[int] = []
+        #: set when a hard fault destroyed part of this transmission
+        #: attempt — surviving flits keep flowing (wormhole state must
+        #: stay consistent) but the destination NI discards the carcass
+        self.lost = False
         self.flits = [
             Flit(self, i, self._flit_type(i, size), payloads[i]) for i in range(size)
         ]
@@ -228,6 +238,18 @@ class Packet:
             bits = flit.received_payload if received else flit.payload
             word |= bits << (i * self.flit_bits)
         return word
+
+    def make_ghost_tail(self) -> Flit:
+        """Synthesize a tail flit to terminate a fault-truncated worm.
+
+        Pushed by the network's kill sweep in place of flits that died on
+        a dead link, so every downstream VC still sees a tail and can
+        release; the packet is already marked :attr:`lost`, so the
+        destination NI discards the fragment instead of reassembling it.
+        """
+        flit = Flit(self, self.size - 1, FlitType.TAIL)
+        flit.ghost = True
+        return flit
 
     def clone_for_retransmission(self, now: int) -> "Packet":
         """Build a fresh copy for an end-to-end retransmission."""

@@ -40,8 +40,9 @@ from repro.core.modes import MODE_BEHAVIOUR, ModeBehaviour, OperationMode
 from repro.noc.arbiters import RoundRobinArbiter
 from repro.noc.buffers import InputPort, VCState, VirtualChannel
 from repro.noc.channel import Channel, Transmission
-from repro.noc.packet import Flit
-from repro.noc.routing import RoutingFunction
+from repro.noc.faultstate import FaultState
+from repro.noc.packet import Flit, Packet
+from repro.noc.routing import RoutingFunction, xy_route
 from repro.noc.stats import RouterEpochStats
 from repro.noc.topology import MeshTopology, Port
 
@@ -66,6 +67,7 @@ class OutputLink:
         "vc_draining",
         "free_at",
         "pending_retx",
+        "alive",
     )
 
     def __init__(
@@ -73,6 +75,8 @@ class OutputLink:
     ) -> None:
         self.port = port
         self.channel = channel
+        #: cleared by the network's hard-fault sweep when the link dies
+        self.alive = True
         self.arq: RetransmissionBuffer[Transmission] = RetransmissionBuffer(arq_capacity)
         self.credits = [vc_depth] * num_vcs
         self.vc_allocated = [False] * num_vcs
@@ -94,6 +98,7 @@ class Router:
         num_vcs: int,
         vc_depth: int,
         arq_capacity: int = 8,
+        fault_state: Optional[FaultState] = None,
     ) -> None:
         self.id = router_id
         self.topology = topology
@@ -101,6 +106,13 @@ class Router:
         self.num_vcs = num_vcs
         self.vc_depth = vc_depth
         self.arq_capacity = arq_capacity
+        #: shared hard-fault state (None only for standalone router tests)
+        self.fault_state = fault_state
+        self._fault_aware = bool(getattr(routing_fn, "fault_aware", False))
+        #: ``(packet, router_id, unreachable)`` callback installed by the
+        #: Network; invoked when RC discards an unroutable packet so the
+        #: network can do message-level accounting
+        self.drop_sink: Optional[Callable[[Packet, int, bool], None]] = None
 
         self.inputs: List[InputPort] = [
             InputPort(Port(p), num_vcs, vc_depth) for p in range(_NUM_PORTS)
@@ -128,6 +140,8 @@ class Router:
         self._routing: Dict[VirtualChannel, None] = {}
         self._waiting: Dict[VirtualChannel, None] = {}
         self._active: Dict[VirtualChannel, None] = {}
+        #: VCs discarding a fault-killed packet in place (see VCState)
+        self._draining: Dict[VirtualChannel, None] = {}
         #: output ports with a non-empty go-back-N rewind queue
         self._retx_ports: List[int] = []
 
@@ -272,6 +286,7 @@ class Router:
                     f"{vc.port.name}.{vc.vc_id}"
                 )
             vc.state = VCState.ROUTING
+            vc.current_packet = flit.packet
             vc.stage_ready_cycle = now + 1
             self._routing[vc] = None
 
@@ -286,6 +301,7 @@ class Router:
             return None
         vc.push(flit)
         vc.state = VCState.ROUTING
+        vc.current_packet = flit.packet
         vc.stage_ready_cycle = now + 1
         self._routing[vc] = None
         self.epoch.buffer_writes += 1
@@ -308,6 +324,8 @@ class Router:
     def step(self, now: int) -> None:
         if self._pending_mode is not None and self._arq_quiescent():
             self._apply_mode(self._pending_mode)
+        if self._draining:
+            self._stage_drain(now)
         if self._retx_ports:
             used_output = self._stage_retransmissions(now)
         else:
@@ -417,6 +435,7 @@ class Router:
 
     def _traverse(self, vc: VirtualChannel, out_port: int, now: int) -> None:
         flit = vc.pop()
+        vc.sent += 1
         self.epoch.buffer_reads += 1
         self.epoch.crossbar_traversals += 1
         self.epoch.flits_out[out_port] += 1
@@ -553,15 +572,182 @@ class Router:
 
     # -- RC ---------------------------------------------------------------
     def _stage_route_computation(self, now: int) -> None:
+        fault_state = self.fault_state
+        faulty = fault_state is not None and fault_state.any_faults
         for vc in list(self._routing):
             if vc.stage_ready_cycle <= now:
                 head = vc.front
-                vc.out_port = int(self.routing_fn(self.topology, self.id, head.dest))
+                out = int(self.routing_fn(self.topology, self.id, head.dest))
+                if faulty:
+                    if not fault_state.reachable(self.id, head.dest):
+                        self._drop_in_routing(vc, now, unreachable=True)
+                        continue
+                    if out != _LOCAL and not fault_state.link_alive(self.id, out):
+                        # A deterministic (non-fault-aware) policy steered
+                        # the packet into a dead link: discard with
+                        # accounting rather than wedging the buffer.
+                        self._drop_in_routing(vc, now, unreachable=False)
+                        continue
+                    if self._fault_aware and out != int(
+                        xy_route(self.topology, self.id, head.dest)
+                    ):
+                        self.epoch.reroutes += 1
+                vc.out_port = out
                 head.packet.path.append(self.id)
                 vc.state = VCState.WAITING_VC
                 vc.stage_ready_cycle = now + 1
                 del self._routing[vc]
                 self._waiting[vc] = None
+
+    def _drop_in_routing(self, vc: VirtualChannel, now: int, unreachable: bool) -> None:
+        """Discard the packet heading this VC before it allocates anything.
+
+        The flits already buffered (and any still arriving from upstream)
+        drain through the DRAINING state so wormhole flow control stays
+        consistent; the message-level consequences (drop the source
+        store entry, count the loss) go through the network's drop sink.
+        """
+        packet = vc.front.packet
+        packet.lost = True
+        del self._routing[vc]
+        vc.state = VCState.DRAINING
+        self._draining[vc] = None
+        if self.drop_sink is not None:
+            self.drop_sink(packet, self.id, unreachable)
+
+    # -- fault drain ------------------------------------------------------
+    def _stage_drain(self, now: int) -> None:
+        """Discard flits of killed packets in place, refunding credits.
+
+        A DRAINING VC behaves like a zero-latency sink: it consumes its
+        FIFO (credits still flow upstream so the rest of the worm keeps
+        arriving) and releases once the tail — real or ghost — passes.
+        """
+        for vc in list(self._draining):
+            finished = False
+            while vc.fifo:
+                flit = vc.pop()
+                self.epoch.buffer_reads += 1
+                self.epoch.dropped_flits += 1
+                if vc.port != Port.LOCAL:
+                    self.in_channels[int(vc.port)].send_credit(vc.vc_id, now + 1)
+                if flit.is_tail:
+                    finished = True
+                    break
+            if finished:
+                del self._draining[vc]
+                vc.release()
+
+    # ------------------------------------------------------------------
+    # Hard-fault sweeps (called by Network.kill_link / kill_router)
+    # ------------------------------------------------------------------
+    def handle_dead_output(self, port: int, now: int, mark: Callable[[Packet], None]) -> None:
+        """Unwind sender-side pipeline state after ``port``'s link died.
+
+        Worms that have not pushed a single flit across the link are sent
+        back to route computation (a fault-aware policy will pick a
+        detour; XY will walk into the RC drop path).  Worms already
+        partially across are truncated: their upstream remainder drains
+        in place, and ``mark`` records the packet as lost so the network
+        can decide between source retransmission and a counted drop.
+        """
+        for vc in list(self._waiting):
+            if vc.out_port == port:
+                del self._waiting[vc]
+                vc.state = VCState.ROUTING
+                vc.out_port = None
+                vc.stage_ready_cycle = now + 1
+                self._routing[vc] = None
+        for vc in list(self._active):
+            if vc.out_port == port:
+                del self._active[vc]
+                if vc.sent == 0:
+                    # Nothing crossed: the packet is intact; re-route it.
+                    vc.state = VCState.ROUTING
+                    vc.out_port = None
+                    vc.out_vc = None
+                    vc.stage_ready_cycle = now + 1
+                    self._routing[vc] = None
+                else:
+                    mark(vc.current_packet)
+                    vc.state = VCState.DRAINING
+                    self._draining[vc] = None
+
+    def handle_dead_input(self, port: int, now: int) -> None:
+        """Repair receiver-side worms truncated by ``port``'s dead link.
+
+        Packets whose missing flits died on the link can never complete;
+        if this VC already forwarded part of the worm downstream, a ghost
+        tail is appended so every later hop still sees a full worm.
+        Packets not marked lost are complete up to their buffered tail
+        and drain normally.
+        """
+        for vc in self.inputs[port].vcs:
+            packet = vc.current_packet
+            if packet is None or not packet.lost:
+                continue
+            if vc.state is VCState.ACTIVE and vc.sent > 0:
+                while vc.fifo:
+                    vc.pop()
+                    self.epoch.dropped_flits += 1
+                vc.push(packet.make_ghost_tail())
+                self.epoch.buffer_writes += 1
+            else:
+                # Nothing escaped this VC (or it was already draining and
+                # its tail died on the link): unwind it completely.
+                while vc.fifo:
+                    vc.pop()
+                    self.epoch.dropped_flits += 1
+                if vc.state is VCState.ACTIVE:
+                    self._release_downstream(vc)
+                self._routing.pop(vc, None)
+                self._waiting.pop(vc, None)
+                self._active.pop(vc, None)
+                self._draining.pop(vc, None)
+                vc.release()
+
+    def flush_all(self, mark: Callable[[Packet], None]) -> int:
+        """Hard-flush every VC (the router itself died); returns flits dropped.
+
+        No credits are refunded and no ghosts are synthesized: every
+        incident channel is already dead, so neighbours were repaired by
+        the per-link sweeps and nothing can arrive here again.
+        """
+        dropped = 0
+        for input_port in self.inputs:
+            for vc in input_port.vcs:
+                if vc.state is VCState.IDLE and not vc.fifo:
+                    continue
+                if vc.current_packet is not None:
+                    mark(vc.current_packet)
+                while vc.fifo:
+                    flit = vc.pop()
+                    mark(flit.packet)
+                    dropped += 1
+                vc.release()
+        self._routing.clear()
+        self._waiting.clear()
+        self._active.clear()
+        self._draining.clear()
+        self._retx_ports.clear()
+        self.epoch.dropped_flits += dropped
+        return dropped
+
+    def _release_downstream(self, vc: VirtualChannel) -> None:
+        """Free the output VC an unwound ACTIVE worm had allocated."""
+        out_port, out_vc = vc.out_port, vc.out_vc
+        if out_port is None or out_vc is None:
+            return
+        if out_port == _LOCAL:
+            self._local_vc_allocated[out_vc] = False
+            return
+        link = self.outputs[out_port]
+        if link.alive:
+            link.vc_draining[out_vc] = True
+            self._maybe_release_output_vc(link, out_vc)
+        else:
+            link.vc_draining[out_vc] = False
+            link.vc_allocated[out_vc] = False
 
     # ------------------------------------------------------------------
     def occupied_input_vcs(self) -> List[int]:
@@ -575,6 +761,7 @@ class Router:
             self._routing
             or self._waiting
             or self._active
+            or self._draining
             or self._retx_ports
             or any(not link.arq.is_empty for link in self.outputs.values())
         )

@@ -1,4 +1,4 @@
-"""Routing functions.
+"""Routing functions and the named routing-policy registry.
 
 The paper uses deterministic X-Y dimension-order routing (Table II), which
 is deadlock-free on a mesh without extra virtual-channel classes.  A Y-X
@@ -7,22 +7,36 @@ extension benchmarks; both restrict themselves to minimal quadrants.
 
 A routing function maps ``(topology, current_node, dest_node)`` to the
 output :class:`~repro.noc.topology.Port` the head flit must request.
+Because some policies need per-router state (the O1TURN selector) or
+shared network state (the fault-aware adaptive policy reads the live
+:class:`~repro.noc.faultstate.FaultState`), the registry holds
+:class:`RoutingPolicy` factories; the network builds one concrete
+routing function per router from ``(topology, router_id, seed,
+fault_state)``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+import random
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.noc.faultstate import FaultState
 from repro.noc.topology import MeshTopology, Port
 
 __all__ = [
     "RoutingFunction",
+    "RoutingPolicy",
     "xy_route",
     "yx_route",
     "minimal_ports",
     "make_o1turn_route",
+    "make_adaptive_route",
+    "resolve_routing_policy",
     "ROUTING_FUNCTIONS",
 ]
+
+#: Round-robin selector length for the seeded O1TURN variant.
+O1TURN_SELECTOR_BITS = 1024
 
 #: Signature shared by all routing functions.
 RoutingFunction = Callable[[MeshTopology, int, int], Port]
@@ -89,8 +103,116 @@ def make_o1turn_route(selector: Sequence[int]) -> RoutingFunction:
     return route
 
 
+def make_adaptive_route(fault_state: FaultState) -> RoutingFunction:
+    """Fault-aware minimal-adaptive routing over the alive subgraph.
+
+    While the network is fault-free this is *exactly* ``xy_route`` (same
+    ports, same determinism, turn-model deadlock freedom intact).  Once a
+    link or router dies, each hop moves strictly closer to the
+    destination on the alive graph — livelock-free by construction —
+    preferring the minimal XY port whenever it is still alive, so the
+    detour region around a fault stays as small as possible.  Routes
+    squeezed around faults can make turns the XY model forbids; the
+    network's invariant watchdog is the documented backstop for the
+    residual deadlock risk (the same trade FASHION-style fault-tolerant
+    routers make).
+
+    Unreachable destinations return the nominal XY port; the router's RC
+    stage checks reachability first and drops such packets with
+    accounting, so the value is never used to move a flit.
+    """
+
+    def route(topology: MeshTopology, node: int, dest: int) -> Port:
+        if node == dest:
+            return Port.LOCAL
+        preferred = xy_route(topology, node, dest)
+        if not fault_state.any_faults:
+            return preferred
+        port = fault_state.next_hop(node, dest, prefer=preferred)
+        return preferred if port is None else port
+
+    route.fault_aware = True  # type: ignore[attr-defined]
+    return route
+
+
+class RoutingPolicy:
+    """Named factory: builds one routing function per router.
+
+    ``fault_aware`` marks policies that consult the shared
+    :class:`FaultState` and can route around dead links; the router's RC
+    stage uses it to count reroutes and to decide whether hitting a dead
+    output port is expected (deterministic policies) or a bug.
+    """
+
+    __slots__ = ("name", "fault_aware", "_build")
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[MeshTopology, int, int, FaultState], RoutingFunction],
+        fault_aware: bool = False,
+    ) -> None:
+        self.name = name
+        self.fault_aware = fault_aware
+        self._build = build
+
+    def build(
+        self,
+        topology: MeshTopology,
+        router_id: int,
+        seed: int = 0,
+        fault_state: Optional[FaultState] = None,
+    ) -> RoutingFunction:
+        if fault_state is None:
+            fault_state = FaultState(topology)
+        return self._build(topology, router_id, seed, fault_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingPolicy({self.name!r}, fault_aware={self.fault_aware})"
+
+
+def _build_o1turn(
+    topology: MeshTopology, router_id: int, seed: int, fault_state: FaultState
+) -> RoutingFunction:
+    # Arithmetic seed mixing (not hash()) keeps the selector identical
+    # across interpreters/processes, which sweep caching depends on.
+    rng = random.Random(seed * 1_000_003 + router_id * 7_919 + 17)
+    selector = tuple(rng.randrange(2) for _ in range(O1TURN_SELECTOR_BITS))
+    return make_o1turn_route(selector)
+
+
 #: Registry used by :class:`repro.sim.config.SimulationConfig`.
-ROUTING_FUNCTIONS = {
-    "xy": xy_route,
-    "yx": yx_route,
+ROUTING_FUNCTIONS: Dict[str, RoutingPolicy] = {
+    "xy": RoutingPolicy("xy", lambda topo, rid, seed, fs: xy_route),
+    "yx": RoutingPolicy("yx", lambda topo, rid, seed, fs: yx_route),
+    "o1turn": RoutingPolicy("o1turn", _build_o1turn),
+    "adaptive": RoutingPolicy(
+        "adaptive",
+        lambda topo, rid, seed, fs: make_adaptive_route(fs),
+        fault_aware=True,
+    ),
 }
+
+
+def resolve_routing_policy(spec) -> RoutingPolicy:
+    """Coerce a name, policy, or bare routing function into a policy.
+
+    Bare callables (how tests drive custom routing) become anonymous
+    policies whose every router shares the given function — the exact
+    pre-registry behaviour.
+    """
+    if isinstance(spec, RoutingPolicy):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return ROUTING_FUNCTIONS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown routing {spec!r}; pick one of "
+                f"{', '.join(sorted(ROUTING_FUNCTIONS))}"
+            ) from None
+    if callable(spec):
+        fault_aware = bool(getattr(spec, "fault_aware", False))
+        name = getattr(spec, "__name__", "custom")
+        return RoutingPolicy(name, lambda topo, rid, seed, fs: spec, fault_aware)
+    raise TypeError(f"cannot interpret {spec!r} as a routing policy")

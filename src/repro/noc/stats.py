@@ -106,6 +106,7 @@ class RouterEpochStats:
         "dropped_flits",
         "crc_ops",
         "core_activity_flits",
+        "reroutes",
     )
 
     def __init__(self) -> None:
@@ -139,6 +140,9 @@ class RouterEpochStats:
         #: injections + deliveries) — drives the core-power proxy without
         #: letting NoC retransmissions heat the core
         self.core_activity_flits = 0
+        #: route computations diverted from the fault-free XY choice by a
+        #: hard fault (graceful-degradation metric)
+        self.reroutes = 0
 
     # ------------------------------------------------------------------
     def input_link_utilization(self, epoch_cycles: int) -> List[float]:
@@ -190,6 +194,15 @@ class NetworkStats:
         "silent_corruptions",
         "latency",
         "mode_cycles",
+        "messages_created",
+        "messages_dropped",
+        "packets_dropped",
+        "unreachable_drops",
+        "reroutes",
+        "fault_recoveries",
+        "link_kills",
+        "router_kills",
+        "buffer_ops",
     )
 
     def __init__(self) -> None:
@@ -210,6 +223,27 @@ class NetworkStats:
         self.latency = LatencyAccumulator()
         #: cycles spent in each operation mode, summed over routers
         self.mode_cycles: Dict[int, int] = {0: 0, 1: 0, 2: 0, 3: 0}
+        # Hard-fault accounting.  The conservation invariant the
+        # watchdog enforces is:
+        #   messages_created == packets_delivered + messages_dropped
+        #                       + outstanding (summed over source NIs)
+        #: logical messages handed to source NIs
+        self.messages_created = 0
+        #: messages abandoned (destination unreachable or source dead)
+        self.messages_dropped = 0
+        #: in-network transmission attempts destroyed by hard faults
+        self.packets_dropped = 0
+        #: packets dropped specifically because no alive path existed
+        self.unreachable_drops = 0
+        #: route computations diverted from the XY choice by faults
+        self.reroutes = 0
+        #: fault-truncated attempts recovered by source retransmission
+        self.fault_recoveries = 0
+        self.link_kills = 0
+        self.router_kills = 0
+        #: harvested buffer read/write/retransmission events — the
+        #: monotonic activity signal the deadlock watchdog compares
+        self.buffer_ops = 0
 
     # ------------------------------------------------------------------
     @property
@@ -226,6 +260,13 @@ class NetworkStats:
     def throughput(self) -> float:
         """Delivered flits per cycle across the whole network."""
         return self.flits_delivered / self.cycles if self.cycles else 0.0
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Messages delivered / messages created (graceful degradation)."""
+        if self.messages_created == 0:
+            return 1.0
+        return self.packets_delivered / self.messages_created
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary used by the experiment harness and benches."""
@@ -245,4 +286,13 @@ class NetworkStats:
             "silent_corruptions": self.silent_corruptions,
             "mean_latency": self.mean_latency,
             "throughput": self.throughput,
+            "messages_created": self.messages_created,
+            "messages_dropped": self.messages_dropped,
+            "packets_dropped": self.packets_dropped,
+            "unreachable_drops": self.unreachable_drops,
+            "reroutes": self.reroutes,
+            "fault_recoveries": self.fault_recoveries,
+            "link_kills": self.link_kills,
+            "router_kills": self.router_kills,
+            "delivered_fraction": self.delivered_fraction,
         }

@@ -60,6 +60,15 @@ class SimulationConfig:
     # Safety valve for drain loops
     max_drain_cycles: int = 2_000_000
 
+    # Hard faults / runtime invariants.  ``fault_spec`` is the campaign
+    # spec string of repro.faults.hardfaults ("" = healthy baseline); the
+    # watchdog knobs gate the conservation/deadlock/livelock checks
+    # (watchdog_interval=0 disables them entirely).
+    fault_spec: str = ""
+    watchdog_interval: int = 256
+    deadlock_cycles: int = 4096
+    max_packet_age: int = 500_000
+
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:
             raise ValueError("mesh must be at least 2x2")
@@ -67,8 +76,10 @@ class SimulationConfig:
             raise ValueError("epoch must span at least one cycle")
         if self.packet_size < 1:
             raise ValueError("packets need at least one flit")
-        if self.routing not in ("xy", "yx"):
+        if self.routing not in ("xy", "yx", "o1turn", "adaptive"):
             raise ValueError(f"unknown routing {self.routing!r}")
+        if self.watchdog_interval < 0:
+            raise ValueError("watchdog_interval cannot be negative")
 
     @property
     def num_nodes(self) -> int:

@@ -39,6 +39,12 @@ class StatsSnapshot:
         "duplicate_flits",
         "dropped_flits",
         "silent_corruptions",
+        "messages_created",
+        "messages_dropped",
+        "packets_dropped",
+        "unreachable_drops",
+        "reroutes",
+        "fault_recoveries",
     )
 
     def __init__(self, stats: NetworkStats) -> None:
@@ -85,12 +91,28 @@ class RunResult:
     mode_cycles: Dict[int, int] = field(default_factory=dict)
     mean_temperature: float = 0.0
     mean_error_probability: float = 0.0
+    # Graceful-degradation metrics (defaulted so pre-fault-model payloads
+    # still deserialize)
+    messages_created: int = 0
+    messages_dropped: int = 0
+    reroutes: int = 0
+    fault_recoveries: int = 0
+    unreachable_drops: int = 0
+    post_fault_latency: float = 0.0
 
     # ------------------------------------------------------------------
     @property
     def retransmission_events(self) -> int:
         """Fig. 6 metric: one event per packet or flit retransmission."""
         return self.packet_retransmissions + self.flit_retransmissions
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Messages delivered / messages created in the window (graceful
+        degradation under hard faults; 1.0 for fault-free runs)."""
+        if self.messages_created <= 0:
+            return 1.0
+        return self.packets_delivered / self.messages_created
 
     @property
     def total_energy_pj(self) -> float:
@@ -141,6 +163,12 @@ class RunResult:
             "mode_cycles": {str(k): v for k, v in self.mode_cycles.items()},
             "mean_temperature": self.mean_temperature,
             "mean_error_probability": self.mean_error_probability,
+            "messages_created": self.messages_created,
+            "messages_dropped": self.messages_dropped,
+            "reroutes": self.reroutes,
+            "fault_recoveries": self.fault_recoveries,
+            "unreachable_drops": self.unreachable_drops,
+            "post_fault_latency": self.post_fault_latency,
         }
 
     @classmethod
@@ -172,4 +200,11 @@ class RunResult:
             "total_power_watts": self.total_power_watts,
             "mean_temperature": self.mean_temperature,
             "mean_error_probability": self.mean_error_probability,
+            "messages_created": self.messages_created,
+            "messages_dropped": self.messages_dropped,
+            "delivered_fraction": self.delivered_fraction,
+            "reroutes": self.reroutes,
+            "fault_recoveries": self.fault_recoveries,
+            "unreachable_drops": self.unreachable_drops,
+            "post_fault_latency": self.post_fault_latency,
         }

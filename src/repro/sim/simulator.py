@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Protocol, Sequence
 from repro.core.controller import ControlPolicy, compute_reward
 from repro.core.modes import OperationMode
 from repro.core.state import DiscretizationConfig, RouterObservation, observe_router
+from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
 from repro.faults.injector import FaultInjector
 from repro.faults.thermal import ThermalGrid
 from repro.faults.varius import VariusModel
@@ -72,7 +73,17 @@ class Simulator:
             channel_latency=config.channel_latency,
             rng=random.Random(seed),
             error_severity=config.error_severity,
+            routing_seed=seed,
+            watchdog_interval=config.watchdog_interval,
+            deadlock_cycles=config.deadlock_cycles,
+            max_packet_age=config.max_packet_age,
         )
+        #: hard-fault campaign (None when config.fault_spec is empty)
+        self.hard_faults: Optional[HardFaultModel] = None
+        if config.fault_spec:
+            schedule = HardFaultSchedule.parse(config.fault_spec)
+            self.hard_faults = HardFaultModel(self.network, schedule)
+            self.network.hard_faults = self.hard_faults
         self.varius = VariusModel(config.width, config.height, seed=config.varius_seed)
         self.thermal = ThermalGrid(
             config.width,
@@ -377,4 +388,14 @@ class Simulator:
             mode_cycles=window["mode_cycles"],
             mean_temperature=self._measured_temp_sum / epochs,
             mean_error_probability=self._measured_error_sum / epochs,
+            messages_created=int(window["messages_created"]),
+            messages_dropped=int(window["messages_dropped"]),
+            reroutes=int(window["reroutes"]),
+            fault_recoveries=int(window["fault_recoveries"]),
+            unreachable_drops=int(window["unreachable_drops"]),
+            post_fault_latency=(
+                self.hard_faults.post_fault_latency
+                if self.hard_faults is not None
+                else 0.0
+            ),
         )

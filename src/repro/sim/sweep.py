@@ -59,9 +59,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.modes import OperationMode
+from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
 from repro.noc.network import Network
 from repro.noc.packet import Packet
+from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.noc.topology import MeshTopology
+from repro.noc.watchdog import NoCInvariantError
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
     DESIGN_ORDER,
@@ -93,11 +96,12 @@ __all__ = [
 ]
 
 #: Bump when an evaluator's semantics change, invalidating cached points.
-CACHE_SCHEMA = 1
+#: Schema 2: hard-fault campaigns (``chaos`` kind, ``fault_spec`` field).
+CACHE_SCHEMA = 2
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
-POINT_KINDS = ("trace", "load", "suite", "mode_error")
+POINT_KINDS = ("trace", "load", "suite", "mode_error", "chaos")
 
 MODE_DESIGNS = tuple(f"mode{int(m)}" for m in OperationMode)
 
@@ -125,6 +129,9 @@ class SweepPoint:
     error_scale: float = 1.0
     rate: float = 0.0
     error_probability: float = 0.0
+    #: hard-fault campaign spec ("" = healthy); part of the cache key, so
+    #: identical schedules replay from cache and new ones re-simulate
+    fault_spec: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -133,6 +140,13 @@ class SweepPoint:
             if self.design not in MODE_DESIGNS:
                 raise ValueError(
                     f"mode_error points take designs {MODE_DESIGNS}, got {self.design!r}"
+                )
+        elif self.kind == "chaos":
+            # Chaos points compare routing policies, not RL designs.
+            if self.design not in ROUTING_FUNCTIONS:
+                raise ValueError(
+                    f"chaos points take routings "
+                    f"{tuple(sorted(ROUTING_FUNCTIONS))}, got {self.design!r}"
                 )
         elif self.design not in DESIGN_ORDER:
             raise ValueError(
@@ -144,12 +158,14 @@ class SweepPoint:
     def label(self) -> str:
         """Short human-readable identifier used in progress lines."""
         parts = [self.kind, self.design, self.traffic, f"s{self.seed}"]
-        if self.kind == "load":
+        if self.kind in ("load", "chaos") and self.rate:
             parts.append(f"r{self.rate:g}")
         if self.kind == "mode_error":
             parts.append(f"p{self.error_probability:g}")
         if self.error_scale != 1.0:
             parts.append(f"x{self.error_scale:g}")
+        if self.fault_spec:
+            parts.append(self.fault_spec)
         return ":".join(parts)
 
 
@@ -170,12 +186,14 @@ class SweepSpec:
     error_scales: Tuple[float, ...] = (1.0,)
     rates: Tuple[float, ...] = (0.0,)
     error_probabilities: Tuple[float, ...] = (0.0,)
+    #: hard-fault campaign axis (chaos kind only; "" = healthy baseline)
+    fault_specs: Tuple[str, ...] = ("",)
     cycles: int = 3_000
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
             raise ValueError(f"unknown sweep kind {self.kind!r}")
-        for name in ("designs", "traffics", "seeds", "error_scales"):
+        for name in ("designs", "traffics", "seeds", "error_scales", "fault_specs"):
             if not getattr(self, name):
                 raise ValueError(f"{name} cannot be empty")
 
@@ -183,29 +201,32 @@ class SweepSpec:
         """The grid's jobs, in deterministic order."""
         points = []
         traffics = (",".join(self.traffics),) if self.kind == "suite" else self.traffics
+        fault_specs = self.fault_specs if self.kind == "chaos" else ("",)
         for traffic in traffics:
             for scale in self.error_scales:
-                for extra in self._extra_axis():
-                    for seed in self.seeds:
-                        for design in self.designs:
-                            points.append(
-                                SweepPoint(
-                                    kind=self.kind,
-                                    design=design,
-                                    traffic=traffic,
-                                    seed=seed,
-                                    cycles=self.cycles,
-                                    error_scale=scale,
-                                    rate=extra if self.kind == "load" else 0.0,
-                                    error_probability=(
-                                        extra if self.kind == "mode_error" else 0.0
-                                    ),
+                for fault_spec in fault_specs:
+                    for extra in self._extra_axis():
+                        for seed in self.seeds:
+                            for design in self.designs:
+                                points.append(
+                                    SweepPoint(
+                                        kind=self.kind,
+                                        design=design,
+                                        traffic=traffic,
+                                        seed=seed,
+                                        cycles=self.cycles,
+                                        error_scale=scale,
+                                        rate=extra if self.kind in ("load", "chaos") else 0.0,
+                                        error_probability=(
+                                            extra if self.kind == "mode_error" else 0.0
+                                        ),
+                                        fault_spec=fault_spec,
+                                    )
                                 )
-                            )
         return points
 
     def _extra_axis(self) -> Tuple[float, ...]:
-        if self.kind == "load":
+        if self.kind in ("load", "chaos"):
             return self.rates
         if self.kind == "mode_error":
             return self.error_probabilities
@@ -229,7 +250,7 @@ class SweepSpec:
                 config["error_severity"] = tuple(config["error_severity"])
             config = SimulationConfig(**config)
         for name in ("designs", "traffics", "seeds", "error_scales",
-                     "rates", "error_probabilities"):
+                     "rates", "error_probabilities", "fault_specs"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         return cls(config=config, **kwargs)
@@ -334,11 +355,91 @@ def _eval_mode_error(config: SimulationConfig, point: SweepPoint) -> Dict[str, o
     }
 
 
+def _eval_chaos(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    """Graceful-degradation run: one routing policy under a hard-fault
+    campaign with open-loop uniform traffic.
+
+    Invariant-watchdog trips do not fail the sweep — they come back as a
+    structured ``diagnosis`` payload, because "this configuration
+    deadlocks under this cut" *is* the measurement.
+    """
+    topology = MeshTopology(config.width, config.height)
+    network = Network(
+        topology,
+        routing_fn=point.design,
+        num_vcs=config.num_vcs,
+        vc_depth=config.vc_depth,
+        flit_bits=config.flit_bits,
+        arq_capacity=config.arq_capacity,
+        channel_latency=config.channel_latency,
+        rng=random.Random(point.seed + 1),
+        routing_seed=point.seed,
+        watchdog_interval=config.watchdog_interval,
+        deadlock_cycles=config.deadlock_cycles,
+        max_packet_age=config.max_packet_age,
+    )
+    model = HardFaultModel(network, HardFaultSchedule.parse(point.fault_spec))
+    network.hard_faults = model
+    rate = point.rate if point.rate > 0.0 else 0.1
+    rng = random.Random(point.seed + 7)
+    nodes = topology.num_nodes
+    diagnosis = None
+    message_id = 0
+    try:
+        for _ in range(point.cycles):
+            if rng.random() < rate:
+                src = rng.randrange(nodes)
+                dst = rng.randrange(nodes)
+                if src != dst:
+                    network.inject(
+                        Packet(
+                            src, dst, config.packet_size, config.flit_bits,
+                            network.now, message_id=message_id,
+                        )
+                    )
+                    message_id += 1
+            network.cycle()
+        deadline = network.now + config.max_drain_cycles
+        while not network.quiescent and network.now < deadline:
+            network.cycle()
+    except NoCInvariantError as exc:
+        diagnosis = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "report": exc.report,
+        }
+    network.harvest_epoch_counters(0)
+    stats = network.stats
+    outstanding = sum(ni.outstanding_messages for ni in network.interfaces)
+    return {
+        "chaos": {
+            "routing": point.design,
+            "fault_spec": point.fault_spec,
+            "applied": list(model.applied),
+            "delivered_fraction": stats.delivered_fraction,
+            "messages_created": stats.messages_created,
+            "packets_delivered": stats.packets_delivered,
+            "messages_dropped": stats.messages_dropped,
+            "packets_dropped": stats.packets_dropped,
+            "unreachable_drops": stats.unreachable_drops,
+            "reroutes": stats.reroutes,
+            "fault_recoveries": stats.fault_recoveries,
+            "link_kills": stats.link_kills,
+            "router_kills": stats.router_kills,
+            "outstanding": outstanding,
+            "pre_fault_latency": model.pre_fault_latency,
+            "post_fault_latency": model.post_fault_latency,
+            "diagnosis": diagnosis,
+        },
+    }
+
+
 _EVALUATORS = {
     "trace": _eval_trace,
     "load": _eval_load,
     "suite": _eval_suite,
     "mode_error": _eval_mode_error,
+    "chaos": _eval_chaos,
 }
 
 
@@ -422,6 +523,7 @@ class PointResult:
     suite: Optional[Dict[str, RunResult]] = None
     load: Optional[Dict[str, float]] = None
     mode_stats: Optional[Dict[str, float]] = None
+    chaos: Optional[Dict[str, object]] = None
 
 
 def _payload_to_result(
@@ -444,6 +546,8 @@ def _payload_to_result(
         result.load = load
     if payload.get("stats") is not None:
         result.mode_stats = dict(payload["stats"])
+    if payload.get("chaos") is not None:
+        result.chaos = dict(payload["chaos"])
     return result
 
 

@@ -1,6 +1,7 @@
 """Tests for the runtime fault injector."""
 
 import random
+import warnings
 
 import pytest
 
@@ -66,13 +67,68 @@ class TestRefresh:
     def test_scale_clamps_at_one(self):
         net, varius = make_setup()
         injector = FaultInjector(net, varius, error_scale=1e9)
-        injector.refresh([100.0] * 16)
+        with pytest.warns(RuntimeWarning):
+            injector.refresh([100.0] * 16)
         assert max(injector.current.values()) <= 1.0
 
     def test_rejects_wrong_temperature_count(self):
         net, varius = make_setup()
         with pytest.raises(ValueError):
             FaultInjector(net, varius).refresh([50.0] * 3)
+
+
+class TestSaturationAndClamp:
+    @staticmethod
+    def _patched(injector, p, p_relaxed):
+        def fake(node, temperature, voltage=None, relax_cycles=0):
+            return p_relaxed if relax_cycles else p
+
+        injector.varius.timing_error_probability = fake
+        return injector
+
+    def test_saturation_warns_once_and_counts(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius, error_scale=1e9)
+        with pytest.warns(RuntimeWarning, match="saturated"):
+            injector.refresh([100.0] * 16)
+        assert injector.saturation_events == len(net.channels)
+        before = injector.saturation_events
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            injector.refresh([100.0] * 16)
+        assert injector.saturation_events == 2 * before
+        assert max(injector.current.values()) == 1.0
+
+    def test_no_saturation_no_warning(self):
+        net, varius = make_setup()
+        injector = FaultInjector(net, varius)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            injector.refresh([80.0] * 16)
+        assert injector.saturation_events == 0
+
+    def test_relax_factor_clamped_to_one(self):
+        # Pathological VARIUS corner: relaxing *raises* the probability.
+        net, varius = make_setup()
+        injector = self._patched(FaultInjector(net, varius), p=0.1, p_relaxed=0.5)
+        injector.refresh([80.0] * 16)
+        for _, model in net.channel_models():
+            assert model.relax_factor == 1.0
+
+    def test_relax_factor_floor_at_zero(self):
+        net, varius = make_setup()
+        injector = self._patched(FaultInjector(net, varius), p=0.1, p_relaxed=-0.5)
+        injector.refresh([80.0] * 16)
+        for _, model in net.channel_models():
+            assert model.relax_factor == 0.0
+
+    def test_zero_probability_means_zero_relax(self):
+        net, varius = make_setup()
+        injector = self._patched(FaultInjector(net, varius), p=0.0, p_relaxed=0.3)
+        injector.refresh([80.0] * 16)
+        for _, model in net.channel_models():
+            assert model.event_probability == 0.0
+            assert model.relax_factor == 0.0
 
 
 class TestUniform:

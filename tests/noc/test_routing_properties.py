@@ -1,0 +1,111 @@
+"""Hypothesis property tests for the routing functions.
+
+Complements the example-based tests in ``test_routing.py`` with the
+properties ISSUE'd for the fault-tolerant routing work: every function
+must return a productive minimal port, realize exactly the Manhattan
+distance, and (for XY) never make a Y-to-X turn.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc import FaultState, MeshTopology, Port, minimal_ports, xy_route, yx_route
+from repro.noc.routing import ROUTING_FUNCTIONS, make_adaptive_route
+
+MAX_DIM = 8
+
+dims = st.integers(min_value=2, max_value=MAX_DIM)
+
+
+@st.composite
+def mesh_and_pair(draw):
+    width, height = draw(dims), draw(dims)
+    topo = MeshTopology(width, height)
+    nodes = width * height
+    src = draw(st.integers(min_value=0, max_value=nodes - 1))
+    dest = draw(st.integers(min_value=0, max_value=nodes - 1))
+    return topo, src, dest
+
+
+def _walk(topology, route_fn, src, dest, limit=None):
+    node = src
+    path = [node]
+    limit = limit if limit is not None else 4 * (topology.width + topology.height)
+    for _ in range(limit):
+        if node == dest:
+            return path
+        port = route_fn(topology, node, dest)
+        node = topology.neighbour(node, port)
+        assert node is not None, "routing walked off the mesh"
+        path.append(node)
+    raise AssertionError("routing did not reach the destination")
+
+
+@settings(max_examples=200, deadline=None)
+@given(mesh_and_pair())
+def test_dimension_order_ports_are_productive_minimal(case):
+    topo, src, dest = case
+    minimal = set(minimal_ports(topo, src, dest))
+    assert xy_route(topo, src, dest) in minimal
+    assert yx_route(topo, src, dest) in minimal
+
+
+@settings(max_examples=200, deadline=None)
+@given(mesh_and_pair())
+def test_route_length_equals_manhattan_distance(case):
+    topo, src, dest = case
+    for fn in (xy_route, yx_route):
+        path = _walk(topo, fn, src, dest)
+        assert len(path) - 1 == topo.hop_distance(src, dest)
+
+
+@settings(max_examples=200, deadline=None)
+@given(mesh_and_pair())
+def test_xy_never_turns_y_to_x(case):
+    topo, src, dest = case
+    path = _walk(topo, xy_route, src, dest)
+    seen_y = False
+    for a, b in zip(path, path[1:]):
+        ax, ay = topo.coordinates(a)
+        bx, by = topo.coordinates(b)
+        if ay != by:
+            seen_y = True
+        if ax != bx:
+            assert not seen_y, f"YX turn on path {path}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(mesh_and_pair(), st.integers(min_value=0, max_value=2**31))
+def test_o1turn_routes_are_minimal(case, seed):
+    topo, src, dest = case
+    fn = ROUTING_FUNCTIONS["o1turn"].build(topo, router_id=0, seed=seed)
+    path = _walk(topo, fn, src, dest)
+    assert len(path) - 1 == topo.hop_distance(src, dest)
+
+
+@settings(max_examples=100, deadline=None)
+@given(mesh_and_pair())
+def test_adaptive_equals_xy_when_healthy(case):
+    topo, src, dest = case
+    fn = make_adaptive_route(FaultState(topo))
+    assert fn(topo, src, dest) == xy_route(topo, src, dest)
+
+
+@settings(max_examples=100, deadline=None)
+@given(mesh_and_pair(), st.randoms(use_true_random=False))
+def test_adaptive_reaches_destination_around_one_dead_link(case, rnd):
+    topo, src, dest = case
+    fault_state = FaultState(topo)
+    fn = make_adaptive_route(fault_state)
+    # Kill one random directed link that isn't the destination's last
+    # resort: pick any; if it cuts the graph, reachability must say so.
+    channels = list(topo.channels())
+    spec = channels[rnd.randrange(len(channels))]
+    fault_state.kill_link(spec.src, int(spec.src_port))
+    if not fault_state.reachable(src, dest):
+        return  # cut graph: RC would drop with accounting, not route
+    path = _walk(topo, fn, src, dest)
+    for a, b in zip(path, path[1:]):
+        assert (a, b) != (spec.src, spec.dst), "route used the dead link"

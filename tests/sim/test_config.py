@@ -55,6 +55,19 @@ class TestValidation:
         with pytest.raises(ValueError):
             SimulationConfig(routing="adaptive-zigzag")
 
+    @pytest.mark.parametrize("routing", ["xy", "yx", "o1turn", "adaptive"])
+    def test_accepts_registered_routings(self, routing):
+        assert SimulationConfig(routing=routing).routing == routing
+
+    def test_rejects_negative_watchdog_interval(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(watchdog_interval=-1)
+
+    def test_fault_spec_defaults_healthy(self):
+        config = SimulationConfig()
+        assert config.fault_spec == ""
+        assert config.watchdog_interval == 256
+
     def test_frozen(self):
         config = SimulationConfig()
         with pytest.raises(AttributeError):

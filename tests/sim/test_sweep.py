@@ -95,6 +95,29 @@ class TestGridExpansion:
         )
         assert len(spec.expand()) == 8
 
+    def test_chaos_expands_fault_spec_axis(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="chaos", designs=("xy", "adaptive"),
+            traffics=("uniform",), rates=(0.1,),
+            fault_specs=("", "link@500:5E"), cycles=400,
+        )
+        points = spec.expand()
+        assert len(points) == 4
+        assert sorted({p.fault_spec for p in points}) == ["", "link@500:5E"]
+        assert all(p.rate == 0.1 for p in points)
+
+    def test_fault_specs_ignored_outside_chaos(self):
+        spec = tiny_trace_spec(fault_specs=("", "link@500:5E"))
+        assert all(p.fault_spec == "" for p in spec.expand())
+
+    def test_chaos_rejects_rl_designs(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="chaos", designs=("rl",),
+            traffics=("uniform",), cycles=400,
+        )
+        with pytest.raises(ValueError, match="routings"):
+            spec.expand()
+
     def test_unknown_design_rejected(self):
         with pytest.raises(ValueError, match="unknown design"):
             tiny_trace_spec(designs=("fpga",)).expand()
@@ -132,6 +155,20 @@ class TestCacheKeys:
         ):
             keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
         assert len(keys) == 6
+
+    def test_key_sensitive_to_fault_spec(self):
+        config = tiny_config()
+        base = SweepPoint(
+            kind="chaos", design="adaptive", traffic="uniform", seed=0,
+            cycles=400, rate=0.1,
+        )
+        keys = {point_cache_key(config, base)}
+        for change in (
+            {"fault_spec": "link@500:5E"},
+            {"fault_spec": "router@800:7"},
+        ):
+            keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
+        assert len(keys) == 3
 
     def test_key_sensitive_to_config(self):
         point = SweepPoint(

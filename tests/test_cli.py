@@ -78,6 +78,53 @@ class TestCommands:
         assert payload[1]["latency"] >= payload[0]["latency"] * 0.8
 
 
+class TestChaosCommand:
+    def _argv(self, cache_dir, extra=()):
+        return [
+            "chaos", "--routings", "xy,adaptive",
+            "--fault-specs", "link@200:5E",
+            "--width", "4", "--height", "4",
+            "--rate", "0.05", "--span", "800",
+            "--cache-dir", str(cache_dir),
+            *extra,
+        ]
+
+    def test_rejects_unknown_routing(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown routing"):
+            main(self._argv(tmp_path, ["--routings", "zigzag"]))
+
+    def test_rejects_bad_fault_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad fault clause"):
+            main(self._argv(tmp_path, ["--fault-specs", "link@500:5Q"]))
+
+    def test_text_table(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "routing" in out and "delivered" in out
+        assert "adaptive" in out and "xy" in out
+        assert "link@200:5E" in out
+
+    def test_json_payload(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, ["--json"])) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["routing"] for row in payload] == ["xy", "adaptive"]
+        for row in payload:
+            assert row["fault_spec"] == "link@200:5E"
+            assert row["link_kills"] == 1
+            assert row["diagnosis"] is None
+            assert 0.0 < row["delivered_fraction"] <= 1.0
+
+    def test_healthy_baseline_spec(self, capsys, tmp_path):
+        argv = self._argv(tmp_path, ["--json"])
+        argv[argv.index("link@200:5E")] = ""
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for row in payload:
+            assert row["fault_spec"] == ""
+            assert row["link_kills"] == 0
+            assert row["delivered_fraction"] == 1.0
+
+
 class TestSweepEndToEnd:
     """The sweep subcommand through the parallel cached runner."""
 
