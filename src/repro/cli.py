@@ -1,9 +1,14 @@
 """Command-line interface: run experiments without writing Python.
 
-Four subcommands:
+Five subcommands:
 
 ``run``
     One (design, benchmark) measurement with the full phase structure.
+    ``--checkpoint FILE --checkpoint-every N`` snapshots the whole
+    simulation every N cycles so a killed run can be continued.
+``resume``
+    Continue a checkpointed ``run`` from its snapshot file; the final
+    metrics are bit-identical to an uninterrupted run.
 ``compare``
     All four designs on one benchmark, metrics normalized to CRC.
 ``sweep``
@@ -16,14 +21,19 @@ Four subcommands:
 
 ``compare``, ``sweep``, and ``chaos`` are grids of independent
 simulations, so all go through :mod:`repro.sim.sweep`: ``--jobs N`` fans
-points out over a process pool (``--jobs 1`` runs the identical code
-serially), and every finished point is cached under ``--cache-dir``
-(default ``.sweep_cache/``) so re-runs and interrupted grids resume
-without re-simulating.  ``--no-cache`` forces fresh simulations.
+points out over supervised worker processes (``--jobs 1`` runs the
+identical code serially), and every finished point is cached under
+``--cache-dir`` (default ``.sweep_cache/``) so re-runs and interrupted
+grids resume without re-simulating.  ``--no-cache`` forces fresh
+simulations; ``--point-timeout`` bounds each point's wall clock and
+``--retries`` bounds how often a crashed/hung point is relaunched before
+it is quarantined (reported, result slot skipped, sweep continues).
 
 Examples::
 
     python -m repro.cli run --design rl --benchmark canneal
+    python -m repro.cli run --design rl --checkpoint rl.ckpt --checkpoint-every 5000
+    python -m repro.cli resume rl.ckpt
     python -m repro.cli compare --benchmark x264 --width 4 --height 4
     python -m repro.cli sweep --design arq_ecc --pattern transpose --jobs 4
     python -m repro.cli chaos --routings xy,adaptive --fault-specs 'link@500:5E'
@@ -51,6 +61,7 @@ from repro.sim import (
 )
 from repro.faults import parse_fault_spec
 from repro.noc.routing import ROUTING_FUNCTIONS
+from repro.sim.checkpoint import CheckpointError, ResumableRun, read_checkpoint_meta
 from repro.sim.sweep import DEFAULT_CACHE_DIR
 from repro.traffic import PARSEC_PROFILES
 
@@ -107,6 +118,14 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="do not read or write the result cache",
     )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry a point running longer than this (parallel only)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="relaunches per failing point before quarantine (default: %(default)s)",
+    )
 
 
 def _make_runner(spec: SweepSpec, args) -> SweepRunner:
@@ -116,7 +135,19 @@ def _make_runner(spec: SweepSpec, args) -> SweepRunner:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=stderr_progress,
+        point_timeout=args.point_timeout,
+        max_retries=args.retries,
     )
+
+
+def _print_quarantine(runner: SweepRunner) -> None:
+    report = runner.report
+    if report is not None and report.quarantined:
+        print(
+            f"[sweep] {len(report.quarantined)} point(s) quarantined: "
+            + ", ".join(report.quarantined),
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,7 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="one (design, benchmark) measurement")
     run.add_argument("--design", default="rl", help=f"one of {', '.join(DESIGN_ORDER)}")
     run.add_argument("--benchmark", default="canneal", help="PARSEC benchmark name")
+    run.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="snapshot the run to FILE so it can be resumed after a crash",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=5_000, metavar="CYCLES",
+        help="cycles between snapshots (default: %(default)s)",
+    )
     _add_platform_args(run)
+
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed run (bit-identical result)"
+    )
+    resume.add_argument("snapshot", help="checkpoint file written by 'run --checkpoint'")
+    resume.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="override the snapshot cadence (default: keep the original)",
+    )
+    resume.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     comp = sub.add_parser("compare", help="all four designs on one benchmark")
     comp.add_argument("--benchmark", default="canneal")
@@ -178,23 +227,65 @@ def _check_benchmark(name: str) -> None:
         )
 
 
-def cmd_run(args) -> int:
-    _check_benchmark(args.benchmark)
-    config = _config_from_args(args)
-    policy = make_policy(args.design, args.seed)
-    sim = Simulator(config, policy, seed=args.seed)
-    if policy.trainable:
-        print(f"pre-training {args.design} ...", file=sys.stderr)
-        sim.pretrain()
-    policy.freeze()
-    sim.warmup()
-    trace = synthesize_benchmark_trace(args.benchmark, config, args.trace_cycles, args.seed)
-    result = sim.measure_trace(trace, args.benchmark)
-    if args.json:
+def _print_result(result, as_json: bool) -> None:
+    if as_json:
         print(json.dumps(result.as_dict(), indent=2))
     else:
         for key, value in result.as_dict().items():
             print(f"{key:26s} {value}")
+
+
+def cmd_run(args) -> int:
+    _check_benchmark(args.benchmark)
+    config = _config_from_args(args)
+    if args.checkpoint is not None:
+        if args.design not in DESIGN_ORDER:
+            raise SystemExit(
+                f"unknown design {args.design!r}; pick one of {', '.join(DESIGN_ORDER)}"
+            )
+        run = ResumableRun(
+            config, args.design, args.benchmark,
+            seed=args.seed, trace_cycles=args.trace_cycles,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(
+            f"running {args.design} on {args.benchmark}, snapshotting to "
+            f"{args.checkpoint} every {args.checkpoint_every} cycles ...",
+            file=sys.stderr,
+        )
+        result = run.run()
+    else:
+        policy = make_policy(args.design, args.seed)
+        sim = Simulator(config, policy, seed=args.seed)
+        if policy.trainable:
+            print(f"pre-training {args.design} ...", file=sys.stderr)
+            sim.pretrain()
+        policy.freeze()
+        sim.warmup()
+        trace = synthesize_benchmark_trace(
+            args.benchmark, config, args.trace_cycles, args.seed
+        )
+        result = sim.measure_trace(trace, args.benchmark)
+    _print_result(result, args.json)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    try:
+        meta = read_checkpoint_meta(args.snapshot)
+        run = ResumableRun.resume(
+            args.snapshot, checkpoint_every=args.checkpoint_every
+        )
+    except CheckpointError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"resuming {meta['design']} on {meta['benchmark']} from cycle "
+        f"{meta['cycle']} ({meta['phase']}) ...",
+        file=sys.stderr,
+    )
+    result = run.run()
+    _print_result(result, args.json)
     return 0
 
 
@@ -212,8 +303,14 @@ def cmd_compare(args) -> int:
     print(f"running 4 designs on {args.benchmark} ...", file=sys.stderr)
     runner = _make_runner(spec, args)
     grid = merge_trace_grid(runner.run())
-    results = grid[(args.benchmark, spec.error_scales[0], args.seed)]
-    results = {design: results[design] for design in DESIGN_ORDER}
+    _print_quarantine(runner)
+    cell = grid.get((args.benchmark, spec.error_scales[0], args.seed), {})
+    missing = [design for design in DESIGN_ORDER if design not in cell]
+    if missing:
+        raise SystemExit(
+            f"cannot compare: no result for design(s) {', '.join(missing)}"
+        )
+    results = {design: cell[design] for design in DESIGN_ORDER}
     if args.json:
         print(json.dumps({d: r.as_dict() for d, r in results.items()}, indent=2))
         return 0
@@ -246,26 +343,36 @@ def cmd_sweep(args) -> int:
         cycles=args.span,
     )
     runner = _make_runner(spec, args)
-    rows = [
-        (p.load["rate"], p.load["latency"], p.load["throughput"], p.load["saturated"])
-        for p in runner.run()
-    ]
+    rows = []
+    for point, p in zip(spec.expand(), runner.run()):
+        if p is None:  # quarantined: keep the row, mark it unusable
+            rows.append((point.rate, None, None, None))
+        else:
+            rows.append((
+                p.load["rate"], p.load["latency"],
+                p.load["throughput"], p.load["saturated"],
+            ))
     print(
         f"[sweep] {runner.executed} point(s) simulated, "
-        f"{len(rows) - runner.executed} from cache",
+        f"{runner.report.from_cache} from cache",
         file=sys.stderr,
     )
+    _print_quarantine(runner)
     if args.json:
         print(json.dumps([
-            {"rate": r, "latency": lat, "throughput": thr, "saturated": sat}
+            {"rate": r, "latency": lat, "throughput": thr, "saturated": sat,
+             "quarantined": lat is None and thr is None}
             for r, lat, thr, sat in rows
         ], indent=2))
-        return 0
+        return 0 if runner.report.succeeded else 1
     print(f"{'rate':>8s} {'latency':>10s} {'throughput':>11s}")
     for rate, latency, throughput, saturated in rows:
+        if latency is None:
+            print(f"{rate:>8.3f} {'-':>10s} {'-':>11s}  (quarantined)")
+            continue
         marker = "  (saturated)" if saturated else ""
         print(f"{rate:>8.3f} {latency:>10.1f} {throughput:>11.3f}{marker}")
-    return 0
+    return 0 if runner.report.succeeded else 1
 
 
 def cmd_chaos(args) -> int:
@@ -299,18 +406,28 @@ def cmd_chaos(args) -> int:
     results = runner.run()
     print(
         f"[chaos] {runner.executed} point(s) simulated, "
-        f"{len(results) - runner.executed} from cache",
+        f"{runner.report.from_cache} from cache",
         file=sys.stderr,
     )
+    _print_quarantine(runner)
     if args.json:
-        print(json.dumps([p.chaos for p in results], indent=2))
-        return 0
+        print(json.dumps(
+            [None if p is None else p.chaos for p in results], indent=2
+        ))
+        return 0 if runner.report.succeeded else 1
     print(
         f"{'routing':>9s} {'fault spec':>28s} {'delivered':>10s} {'dropped':>8s} "
         f"{'reroutes':>9s} {'post-lat':>9s}  status"
     )
-    worst = 0
-    for p in results:
+    worst = 0 if runner.report.succeeded else 1
+    for point, p in zip(spec.expand(), results):
+        if p is None:
+            spec_text = point.fault_spec or "(healthy)"
+            print(
+                f"{point.design:>9s} {spec_text:>28s} {'-':>10s} {'-':>8s} "
+                f"{'-':>9s} {'-':>9s}  quarantined"
+            )
+            continue
         c = p.chaos
         diagnosis = c.get("diagnosis")
         status = diagnosis["error"] if diagnosis else "ok"
@@ -329,6 +446,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "resume": cmd_resume,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,

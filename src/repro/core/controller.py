@@ -19,12 +19,40 @@ every call, which is what makes it adapt online.
 from __future__ import annotations
 
 import abc
+import math
+from typing import Dict, Optional
 
 from repro.core.modes import OperationMode
 from repro.core.state import RouterObservation
 from repro.power.orion import DesignPowerProfile
 
-__all__ = ["ControlPolicy", "compute_reward"]
+__all__ = ["ControlPolicy", "RewardGuard", "REWARD_GUARD", "compute_reward"]
+
+
+class RewardGuard:
+    """Counts non-finite reward inputs clamped by :func:`compute_reward`.
+
+    A NaN latency or power measurement would flow straight through
+    ``max()`` (NaN comparisons are False, so ``max(nan, floor)`` returns
+    NaN) into the Q-update and poison the table permanently.  The guard
+    clamps such inputs to the idle-epoch floors and keeps a per-process
+    tally so harnesses can surface that the platform produced garbage.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def reset(self) -> int:
+        """Zero the tally; returns the count consumed."""
+        count = self.events
+        self.events = 0
+        return count
+
+
+#: Process-wide tally of clamped non-finite reward inputs.
+REWARD_GUARD = RewardGuard()
 
 
 def compute_reward(mean_latency_cycles: float, power_watts: float) -> float:
@@ -33,8 +61,16 @@ def compute_reward(mean_latency_cycles: float, power_watts: float) -> float:
     Latency is the average end-to-end latency of packets that traversed
     the router during the epoch; power is the router's average total
     (static + dynamic) power over the same epoch.  Both are floored to
-    keep the reward finite on idle epochs.
+    keep the reward finite on idle epochs; non-finite inputs (NaN/inf
+    from a broken sensor path) are clamped to the same floors and
+    counted in :data:`REWARD_GUARD` so they can never poison a Q-table.
     """
+    if not math.isfinite(mean_latency_cycles):
+        REWARD_GUARD.events += 1
+        mean_latency_cycles = 1.0
+    if not math.isfinite(power_watts):
+        REWARD_GUARD.events += 1
+        power_watts = 1e-6
     latency = max(mean_latency_cycles, 1.0)
     power = max(power_watts, 1e-6)
     return 1.0 / (latency * power)
@@ -78,4 +114,32 @@ class ControlPolicy(abc.ABC):
         The DT baseline freezes its trained tree here (its training
         result "is no longer updated during testing", Section V-B);
         the RL policy keeps learning, exactly as the paper describes.
+        """
+
+    # ------------------------------------------------------------------
+    # Resilience hooks (checkpoint/resume and graceful degradation)
+    # ------------------------------------------------------------------
+    def enter_safe_mode(self, router_id: int, reason: str) -> bool:
+        """A runtime invariant tripped (or a loaded table was rejected)
+        for ``router_id``.  Policies that can degrade gracefully pin the
+        router to a conservative mode and return True; the default
+        returns False, telling the simulator to pin the mode itself.
+        """
+        return False
+
+    def to_state(self) -> Dict[str, object]:
+        """Durable snapshot of the policy's learned state (checkpoints).
+
+        Stateless policies carry only their name; learning policies
+        override this with their full model state.
+        """
+        return {"policy": self.name}
+
+    def load_state(self, state: Optional[Dict[str, object]]) -> None:
+        """Restore (and validate) a :meth:`to_state` snapshot.
+
+        The default is a no-op — stateless policies have nothing to
+        restore.  Implementations must *validate* before trusting the
+        state and degrade to safe-mode control instead of raising when a
+        router's table is rejected.
         """

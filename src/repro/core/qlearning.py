@@ -15,12 +15,19 @@ whose area the paper budgets at 2360 um^2 together with the update ALU.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["QLearningAgent"]
+__all__ = ["AgentStateError", "QLearningAgent"]
 
 State = Hashable
+
+
+class AgentStateError(ValueError):
+    """A serialized Q-table failed validation (NaN/inf values, wrong
+    action count, malformed rows).  Callers treat the table as lost and
+    fall back to safe-mode control rather than loading poison."""
 
 
 class QLearningAgent:
@@ -114,3 +121,78 @@ class QLearningAgent:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """Serializable snapshot of everything the agent has learned.
+
+        The snapshot carries the hyper-parameters, the full Q-table, the
+        update counter, and the exploration RNG state, so
+        ``from_state(to_state())`` resumes action selection and learning
+        bit-identically to the original agent.
+        """
+        return {
+            "num_actions": self.num_actions,
+            "alpha": self.alpha,
+            "gamma": self.gamma,
+            "epsilon": self.epsilon,
+            "q_init": self.q_init,
+            "updates": self.updates,
+            "rng_state": self.rng.getstate(),
+            "table": {state: list(row) for state, row in self._table.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "QLearningAgent":
+        """Rebuild an agent from :meth:`to_state`, rejecting poison.
+
+        Raises :class:`AgentStateError` when the snapshot is malformed,
+        carries NaN/inf Q-values, or its rows do not match the declared
+        action count — a corrupted table must never drive a live router.
+        """
+        if not isinstance(state, dict):
+            raise AgentStateError(f"agent state must be a dict, got {type(state).__name__}")
+        try:
+            num_actions = int(state["num_actions"])
+            table = state["table"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AgentStateError(f"agent state missing required field: {exc}") from None
+        if num_actions <= 0:
+            raise AgentStateError(f"invalid action count {num_actions}")
+        if not isinstance(table, dict):
+            raise AgentStateError("Q-table must be a dict of state -> row")
+        validated: Dict[State, List[float]] = {}
+        for key, row in table.items():
+            if not isinstance(row, (list, tuple)) or len(row) != num_actions:
+                raise AgentStateError(
+                    f"Q-row for state {key!r} has {len(row) if isinstance(row, (list, tuple)) else 'non-sequence'} "
+                    f"entries, expected {num_actions}"
+                )
+            values = []
+            for q in row:
+                q = float(q)
+                if not math.isfinite(q):
+                    raise AgentStateError(f"non-finite Q-value {q!r} for state {key!r}")
+                values.append(q)
+            validated[key] = values
+        try:
+            agent = cls(
+                num_actions=num_actions,
+                alpha=float(state.get("alpha", 0.1)),
+                gamma=float(state.get("gamma", 0.5)),
+                epsilon=float(state.get("epsilon", 0.1)),
+                q_init=float(state.get("q_init", 0.0)),
+            )
+        except ValueError as exc:
+            raise AgentStateError(f"invalid hyper-parameters: {exc}") from None
+        agent._table = validated
+        agent.updates = int(state.get("updates", 0))
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            try:
+                agent.rng.setstate(rng_state)
+            except (TypeError, ValueError) as exc:
+                raise AgentStateError(f"invalid RNG state: {exc}") from None
+        return agent

@@ -17,16 +17,24 @@ encodes everything router-specific the reward depends on.
 
 from __future__ import annotations
 
+import logging
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.core.controller import ControlPolicy
 from repro.core.modes import OperationMode
-from repro.core.qlearning import QLearningAgent
+from repro.core.qlearning import AgentStateError, QLearningAgent
 from repro.core.state import RouterObservation
 from repro.power.orion import DesignPowerProfile
 
-__all__ = ["RLControlPolicy"]
+__all__ = ["RLControlPolicy", "SAFE_MODE"]
+
+logger = logging.getLogger("repro.core.rl_policy")
+
+#: The conservative fallback: mode 3 (timing relaxation) makes errors and
+#: retransmissions essentially vanish at a known latency cost — the right
+#: posture for a router whose learned table is lost or suspect.
+SAFE_MODE = OperationMode.MODE_3
 
 
 class RLControlPolicy(ControlPolicy):
@@ -63,6 +71,10 @@ class RLControlPolicy(ControlPolicy):
         self.share_table = share_table
         self.seed = seed
         self._agents: List[QLearningAgent] = []
+        #: routers degraded to SAFE_MODE (rejected table / invariant trip)
+        self.safe_mode_routers: Set[int] = set()
+        #: structured log of every degradation, for reports and tests
+        self.safe_mode_events: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +118,8 @@ class RLControlPolicy(ControlPolicy):
 
     # ------------------------------------------------------------------
     def select(self, router_id: int, observation: RouterObservation) -> OperationMode:
+        if router_id in self.safe_mode_routers:
+            return SAFE_MODE
         action = self._agent(router_id).select_action(observation.discrete)
         return OperationMode(action)
 
@@ -117,6 +131,11 @@ class RLControlPolicy(ControlPolicy):
         reward: float,
         next_observation: RouterObservation,
     ) -> None:
+        if router_id in self.safe_mode_routers:
+            # A degraded router is pinned, not learning: its table is
+            # gone or suspect, and feeding it transitions taken under
+            # forced SAFE_MODE would only bake the degradation in.
+            return
         self._agent(router_id).update(
             observation.discrete, int(action), reward, next_observation.discrete
         )
@@ -135,6 +154,84 @@ class RLControlPolicy(ControlPolicy):
         for agent in self._agents:
             seen[id(agent)] = agent
         return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # Resilience: safe-mode degradation and durable state
+    # ------------------------------------------------------------------
+    def enter_safe_mode(self, router_id: int, reason: str) -> bool:
+        """Pin ``router_id`` to SAFE_MODE and log the degradation.
+
+        Called when the router's loaded Q-table was rejected or a
+        runtime invariant watchdog tripped mid-epoch.  Idempotent.
+        """
+        if router_id not in self.safe_mode_routers:
+            self.safe_mode_routers.add(router_id)
+            self.safe_mode_events.append(
+                {"router": router_id, "mode": int(SAFE_MODE), "reason": reason}
+            )
+            logger.warning(
+                "router %d degraded to mode %d (safe mode): %s",
+                router_id, int(SAFE_MODE), reason,
+            )
+        return True
+
+    def to_state(self) -> Dict[str, object]:
+        """Durable snapshot: hyper-parameters plus every agent's table.
+
+        With ``share_table`` the single shared agent is stored once and
+        re-fanned-out on load, mirroring :meth:`reset`.
+        """
+        agents = self._unique_agents()
+        return {
+            "policy": self.name,
+            "share_table": self.share_table,
+            "num_routers": len(self._agents),
+            "seed": self.seed,
+            "safe_mode_routers": sorted(self.safe_mode_routers),
+            "agents": [agent.to_state() for agent in agents],
+        }
+
+    def load_state(self, state: Optional[Dict[str, object]]) -> None:
+        """Restore a :meth:`to_state` snapshot, degrading instead of dying.
+
+        Every agent table is validated through
+        :meth:`QLearningAgent.from_state`; a rejected table does not
+        raise — the affected router(s) are pinned to SAFE_MODE via
+        :meth:`enter_safe_mode` and keep running with a fresh table, so
+        one corrupted row cannot take down a resumed run.
+        """
+        if not state:
+            return
+        num_routers = int(state.get("num_routers", 0))
+        if num_routers <= 0:
+            return
+        self.share_table = bool(state.get("share_table", self.share_table))
+        self.safe_mode_routers = set()
+        self.safe_mode_events = []
+        agent_states = state.get("agents", [])
+        self._agents = []
+        self.reset(num_routers)
+
+        def restore(index: int, agent_state, routers: List[int]) -> Optional[QLearningAgent]:
+            try:
+                return QLearningAgent.from_state(agent_state)
+            except AgentStateError as exc:
+                for router_id in routers:
+                    self.enter_safe_mode(router_id, f"rejected Q-table: {exc}")
+                return None
+
+        if self.share_table:
+            if agent_states:
+                agent = restore(0, agent_states[0], list(range(num_routers)))
+                if agent is not None:
+                    self._agents = [agent] * num_routers
+        else:
+            for i, agent_state in enumerate(agent_states[:num_routers]):
+                agent = restore(i, agent_state, [i])
+                if agent is not None:
+                    self._agents[i] = agent
+        for router_id in state.get("safe_mode_routers", []):
+            self.enter_safe_mode(int(router_id), "degraded before snapshot")
 
     # ------------------------------------------------------------------
     # Introspection helpers for examples/benches

@@ -37,6 +37,12 @@ __all__ = ["NetworkInterface"]
 SIDEBAND_BASE_LATENCY = 4
 
 
+def _no_peer(_node: int) -> Optional["NetworkInterface"]:
+    """Placeholder peer lookup before the Network wires the NIs together
+    (module-level, so an unwired NI still pickles)."""
+    return None
+
+
 class NetworkInterface:
     """The NI of one core/router pair."""
 
@@ -72,7 +78,7 @@ class NetworkInterface:
         #: per-packet count of ejected flits, for reassembly bookkeeping
         self._rx_count: Dict[int, int] = {}
         #: peer lookup installed by the Network (node id -> NI)
-        self.peer: Callable[[int], "NetworkInterface"] = lambda _n: None
+        self.peer: Callable[[int], "NetworkInterface"] = _no_peer
 
     # ------------------------------------------------------------------
     # Source side

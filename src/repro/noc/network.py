@@ -125,9 +125,17 @@ class Network:
             NetworkInterface(i, self.routers[i], topology, crc, self.stats)
             for i in range(topology.num_nodes)
         ]
+        # Bound methods (not lambdas) so a Network snapshot pickles —
+        # checkpoint/resume serializes the whole object graph.
         for ni in self.interfaces:
-            ni.peer = lambda n: self.interfaces[n]
-            ni._router_lookup = lambda r: self.routers[r]
+            ni.peer = self._peer_lookup
+            ni._router_lookup = self._router_lookup
+
+    def _peer_lookup(self, node: int) -> NetworkInterface:
+        return self.interfaces[node]
+
+    def _router_lookup(self, router_id: int) -> Router:
+        return self.routers[router_id]
 
     # ------------------------------------------------------------------
     # External control surface

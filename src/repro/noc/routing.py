@@ -82,7 +82,7 @@ def minimal_ports(topology: MeshTopology, node: int, dest: int) -> List[Port]:
     return ports
 
 
-def make_o1turn_route(selector: Sequence[int]) -> RoutingFunction:
+class O1TurnRoute:
     """O1TURN-style routing: pick XY or YX per packet.
 
     ``selector`` is any sequence consulted round-robin; in the simulator it
@@ -90,20 +90,40 @@ def make_o1turn_route(selector: Sequence[int]) -> RoutingFunction:
     Note: full O1TURN requires VC partitioning for deadlock freedom; the
     simulator assigns even VCs to XY and odd VCs to YX packets when this
     function is active.
-    """
-    state = {"i": 0}
 
-    def route(topology: MeshTopology, node: int, dest: int) -> Port:
-        choice = selector[state["i"] % len(selector)]
-        state["i"] += 1
+    A plain class (not a closure) so the consumed selector position
+    survives a checkpoint pickle — resuming a run mid-flight must replay
+    exactly the XY/YX choices an uninterrupted run would have made.
+    """
+
+    __slots__ = ("selector", "index")
+
+    fault_aware = False
+
+    def __init__(self, selector: Sequence[int]) -> None:
+        self.selector = selector
+        self.index = 0
+
+    def __call__(self, topology: MeshTopology, node: int, dest: int) -> Port:
+        choice = self.selector[self.index % len(self.selector)]
+        self.index += 1
         return xy_route(topology, node, dest) if choice == 0 else yx_route(
             topology, node, dest
         )
 
-    return route
+    def __getstate__(self):
+        return (self.selector, self.index)
+
+    def __setstate__(self, state) -> None:
+        self.selector, self.index = state
 
 
-def make_adaptive_route(fault_state: FaultState) -> RoutingFunction:
+def make_o1turn_route(selector: Sequence[int]) -> RoutingFunction:
+    """Build a round-robin XY/YX selector routing function."""
+    return O1TurnRoute(selector)
+
+
+class AdaptiveRoute:
     """Fault-aware minimal-adaptive routing over the alive subgraph.
 
     While the network is fault-free this is *exactly* ``xy_route`` (same
@@ -122,17 +142,32 @@ def make_adaptive_route(fault_state: FaultState) -> RoutingFunction:
     accounting, so the value is never used to move a flit.
     """
 
-    def route(topology: MeshTopology, node: int, dest: int) -> Port:
+    __slots__ = ("fault_state",)
+
+    fault_aware = True
+
+    def __init__(self, fault_state: FaultState) -> None:
+        self.fault_state = fault_state
+
+    def __call__(self, topology: MeshTopology, node: int, dest: int) -> Port:
         if node == dest:
             return Port.LOCAL
         preferred = xy_route(topology, node, dest)
-        if not fault_state.any_faults:
+        if not self.fault_state.any_faults:
             return preferred
-        port = fault_state.next_hop(node, dest, prefer=preferred)
+        port = self.fault_state.next_hop(node, dest, prefer=preferred)
         return preferred if port is None else port
 
-    route.fault_aware = True  # type: ignore[attr-defined]
-    return route
+    def __getstate__(self):
+        return self.fault_state
+
+    def __setstate__(self, state) -> None:
+        self.fault_state = state
+
+
+def make_adaptive_route(fault_state: FaultState) -> RoutingFunction:
+    """Build a fault-aware adaptive routing function over ``fault_state``."""
+    return AdaptiveRoute(fault_state)
 
 
 class RoutingPolicy:
@@ -171,6 +206,20 @@ class RoutingPolicy:
         return f"RoutingPolicy({self.name!r}, fault_aware={self.fault_aware})"
 
 
+# Module-level builders (not lambdas) keep RoutingPolicy instances — and
+# therefore checkpointed Network snapshots — picklable.
+def _build_xy(
+    topology: MeshTopology, router_id: int, seed: int, fault_state: FaultState
+) -> RoutingFunction:
+    return xy_route
+
+
+def _build_yx(
+    topology: MeshTopology, router_id: int, seed: int, fault_state: FaultState
+) -> RoutingFunction:
+    return yx_route
+
+
 def _build_o1turn(
     topology: MeshTopology, router_id: int, seed: int, fault_state: FaultState
 ) -> RoutingFunction:
@@ -181,16 +230,18 @@ def _build_o1turn(
     return make_o1turn_route(selector)
 
 
+def _build_adaptive(
+    topology: MeshTopology, router_id: int, seed: int, fault_state: FaultState
+) -> RoutingFunction:
+    return make_adaptive_route(fault_state)
+
+
 #: Registry used by :class:`repro.sim.config.SimulationConfig`.
 ROUTING_FUNCTIONS: Dict[str, RoutingPolicy] = {
-    "xy": RoutingPolicy("xy", lambda topo, rid, seed, fs: xy_route),
-    "yx": RoutingPolicy("yx", lambda topo, rid, seed, fs: yx_route),
+    "xy": RoutingPolicy("xy", _build_xy),
+    "yx": RoutingPolicy("yx", _build_yx),
     "o1turn": RoutingPolicy("o1turn", _build_o1turn),
-    "adaptive": RoutingPolicy(
-        "adaptive",
-        lambda topo, rid, seed, fs: make_adaptive_route(fs),
-        fault_aware=True,
-    ),
+    "adaptive": RoutingPolicy("adaptive", _build_adaptive, fault_aware=True),
 }
 
 

@@ -181,6 +181,17 @@ class NetworkWatchdog:
                     report=report,
                 )
 
+    def rearm(self, now: int) -> None:
+        """Restart the progress window after a handled trip.
+
+        A supervisor that catches an invariant error and intervenes
+        (safe-mode degradation, mode pinning) calls this so the network
+        gets one fresh ``deadlock_cycles`` window to start moving again
+        — otherwise the very next poll would re-raise the same stall.
+        """
+        self._last_activity = -1
+        self._last_progress_cycle = now
+
     # ------------------------------------------------------------------
     def _stall_report(self, kind: str, now: int, outstanding: int) -> Dict:
         """Dump every non-idle VC and pending ARQ window for diagnosis."""

@@ -1,5 +1,12 @@
 """Integrated simulation harness: config, closed-loop sim, experiments."""
 
+from repro.sim.checkpoint import (
+    CheckpointError,
+    ResumableRun,
+    load_checkpoint,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
 from repro.sim.config import SimulationConfig, paper_config, scaled_config
 from repro.sim.experiment import (
     DESIGN_ORDER,
@@ -19,6 +26,7 @@ from repro.sim.sweep import (
     SweepCache,
     SweepPoint,
     SweepProgress,
+    SweepReport,
     SweepRunner,
     SweepSpec,
     merge_suite,
@@ -33,6 +41,11 @@ __all__ = [
     "SimulationConfig",
     "paper_config",
     "scaled_config",
+    "CheckpointError",
+    "ResumableRun",
+    "load_checkpoint",
+    "read_checkpoint_meta",
+    "save_checkpoint",
     "DESIGN_ORDER",
     "compare_designs",
     "default_design_factories",
@@ -49,6 +62,7 @@ __all__ = [
     "SweepCache",
     "SweepPoint",
     "SweepProgress",
+    "SweepReport",
     "SweepRunner",
     "SweepSpec",
     "merge_suite",

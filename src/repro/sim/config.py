@@ -68,6 +68,11 @@ class SimulationConfig:
     watchdog_interval: int = 256
     deadlock_cycles: int = 4096
     max_packet_age: int = 500_000
+    #: Graceful degradation: when a deadlock/livelock watchdog trips
+    #: mid-epoch, pin the implicated routers to mode 3 (timing
+    #: relaxation) and keep running instead of crashing the simulation.
+    #: Conservation violations always raise regardless of this flag.
+    safe_mode: bool = True
 
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:

@@ -18,8 +18,9 @@ replaying an application trace until every message is delivered.
 
 from __future__ import annotations
 
+import logging
 import random
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.core.controller import ControlPolicy, compute_reward
 from repro.core.modes import OperationMode
@@ -32,6 +33,7 @@ from repro.noc.network import Network
 from repro.noc.packet import Packet
 from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.noc.topology import MeshTopology, Port
+from repro.noc.watchdog import ConservationError, NoCInvariantError
 from repro.power.orion import CorePowerParams, EnergyParams, RouterPowerModel
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import RunResult, StatsSnapshot
@@ -39,6 +41,13 @@ from repro.traffic.synthetic import SyntheticTraffic
 from repro.traffic.trace import TraceRecord, TraceReplayer
 
 __all__ = ["TrafficSource", "Simulator"]
+
+logger = logging.getLogger("repro.sim.simulator")
+
+#: After this many handled invariant trips the run is declared wedged and
+#: the original exception propagates — safe mode is a degradation path,
+#: not an infinite retry loop.
+MAX_SAFE_MODE_TRIPS = 16
 
 
 class TrafficSource(Protocol):
@@ -117,9 +126,87 @@ class Simulator:
         self._measured_epochs = 0
         self._measured_temp_sum = 0.0
         self._measured_error_sum = 0.0
+        self._measure_before: Optional[StatsSnapshot] = None
+
+        #: structured log of handled watchdog trips (safe-mode entries)
+        self.safe_mode_events: List[Dict[str, object]] = []
+        #: routers the *simulator* pins to mode 3 because the policy
+        #: could not handle the degradation itself
+        self._safe_routers: set = set()
 
         # Prime the fault model with the initial (ambient) thermal state.
         self.injector.refresh(self.thermal.as_list())
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    @staticmethod
+    def restore_packet_counter(next_pid: Optional[int]) -> None:
+        """Restore the process-global packet-id counter from a snapshot.
+
+        :class:`~repro.noc.packet.Packet` ids are issued by a class-level
+        counter that resets with the process; a resumed run must continue
+        the interrupted process's sequence or freshly injected packets
+        would collide with the ids the pickled in-flight packets carry
+        (the NI keys its reassembly and ARQ state by pid / message_id).
+        Never moves the counter backward past ids already issued in this
+        process, so resuming next to other live simulations stays safe.
+        """
+        if next_pid is None:
+            return
+        Packet._next_pid = max(Packet._next_pid, int(next_pid))
+
+    # ------------------------------------------------------------------
+    # Guarded cycle: invariant trips degrade instead of crashing
+    # ------------------------------------------------------------------
+    def _cycle(self) -> None:
+        """One network cycle; watchdog trips enter safe mode when enabled.
+
+        Packet-conservation violations always propagate — they indicate a
+        protocol bug, not congestion, and no mode change can repair lost
+        accounting.  Deadlock/livelock trips degrade the implicated
+        routers to mode 3 (timing relaxation), re-arm the watchdog, and
+        keep the run alive, up to :data:`MAX_SAFE_MODE_TRIPS`.
+        """
+        try:
+            self.network.cycle()
+        except ConservationError:
+            raise
+        except NoCInvariantError as exc:
+            if not self.config.safe_mode:
+                raise
+            if len(self.safe_mode_events) >= MAX_SAFE_MODE_TRIPS:
+                raise
+            self._enter_safe_mode(exc)
+
+    def _enter_safe_mode(self, exc: NoCInvariantError) -> None:
+        network = self.network
+        implicated = sorted(
+            {
+                entry["router"]
+                for entry in exc.report.get("stuck", [])
+                if "router" in entry
+            }
+        ) or [router.id for router in network.routers]
+        reason = f"{type(exc).__name__} at cycle {network.now}: {exc}"
+        for router_id in implicated:
+            if not self.policy.enter_safe_mode(router_id, reason):
+                self._safe_routers.add(router_id)
+            network.set_mode(router_id, OperationMode.MODE_3)
+        self.safe_mode_events.append(
+            {
+                "cycle": network.now,
+                "error": type(exc).__name__,
+                "routers": implicated,
+                "report": exc.report,
+            }
+        )
+        logger.warning(
+            "invariant trip handled: %s — %d router(s) degraded to mode 3",
+            type(exc).__name__, len(implicated),
+        )
+        if network.watchdog is not None:
+            network.watchdog.rearm(network.now)
 
     # ------------------------------------------------------------------
     # Control epoch
@@ -208,6 +295,10 @@ class Simulator:
                 mode = self.forced_mode
             else:
                 mode = self.policy.select(router.id, obs)
+            if router.id in self._safe_routers:
+                # The policy could not degrade itself; the simulator pins
+                # the router to the conservative mode on its behalf.
+                mode = OperationMode.MODE_3
             network.set_mode(router.id, mode)
             actions.append(mode)
         self._prev_obs = observations
@@ -224,6 +315,43 @@ class Simulator:
     # ------------------------------------------------------------------
     # Phase drivers
     # ------------------------------------------------------------------
+    def run(
+        self,
+        source: Optional[TrafficSource],
+        cycles: int,
+        learn: bool = True,
+        time_origin: Optional[int] = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Advance a fixed number of cycles, injecting from ``source``.
+
+        With ``checkpoint_every=N`` (and a callback), ``on_checkpoint``
+        fires after every N completed cycles with the count of cycles
+        done so far — the hook :mod:`repro.sim.checkpoint` uses to
+        serialize the run.  The callback must not mutate simulation
+        state, so a checkpointed run and a plain one are bit-identical.
+        """
+        network = self.network
+        epoch = self.config.epoch_cycles
+        origin = network.now if time_origin is None else time_origin
+        for done in range(1, cycles + 1):
+            if source is not None:
+                for packet in source.packets_for_cycle(network.now - origin):
+                    # Sources see trace-relative time; latency accounting
+                    # needs the absolute injection timestamp.
+                    packet.created_at = network.now
+                    network.inject(packet)
+            self._cycle()
+            if network.now % epoch == 0:
+                self._epoch_boundary(learn)
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and done % checkpoint_every == 0
+            ):
+                on_checkpoint(done)
+
     def run_cycles(
         self,
         source: Optional[TrafficSource],
@@ -232,19 +360,7 @@ class Simulator:
         time_origin: Optional[int] = None,
     ) -> None:
         """Advance a fixed number of cycles, injecting from ``source``."""
-        network = self.network
-        epoch = self.config.epoch_cycles
-        origin = network.now if time_origin is None else time_origin
-        for _ in range(cycles):
-            if source is not None:
-                for packet in source.packets_for_cycle(network.now - origin):
-                    # Sources see trace-relative time; latency accounting
-                    # needs the absolute injection timestamp.
-                    packet.created_at = network.now
-                    network.inject(packet)
-            network.cycle()
-            if network.now % epoch == 0:
-                self._epoch_boundary(learn)
+        self.run(source, cycles, learn=learn, time_origin=time_origin)
 
     def run_until_drained(
         self,
@@ -252,6 +368,8 @@ class Simulator:
         source_exhausted,
         learn: bool = True,
         time_origin: Optional[int] = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Optional[Callable[[int], None]] = None,
     ) -> int:
         """Inject a finite source and run until every message delivers.
 
@@ -263,11 +381,12 @@ class Simulator:
         epoch = self.config.epoch_cycles
         origin = network.now if time_origin is None else time_origin
         start = network.now
+        done = 0
         while not (source_exhausted() and network.quiescent):
             for packet in source.packets_for_cycle(network.now - origin):
                 packet.created_at = network.now
                 network.inject(packet)
-            network.cycle()
+            self._cycle()
             if network.now % epoch == 0:
                 self._epoch_boundary(learn)
             if network.now - start > self.config.max_drain_cycles:
@@ -275,6 +394,13 @@ class Simulator:
                     "trace failed to drain within max_drain_cycles "
                     f"({self.config.max_drain_cycles})"
                 )
+            done += 1
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and done % checkpoint_every == 0
+            ):
+                on_checkpoint(done)
         return network.now - start
 
     # ------------------------------------------------------------------
@@ -321,10 +447,14 @@ class Simulator:
             self.forced_mode = None
             self.run_cycles(source, free_span, learn=True)
         # Let in-flight pretraining packets drain before the next phase.
+        self.drain_epochs()
+
+    def drain_epochs(self, learn: bool = True) -> None:
+        """Run (with epoch boundaries) until no message is outstanding."""
         while not self.network.quiescent:
-            self.network.cycle()
+            self._cycle()
             if self.network.now % self.config.epoch_cycles == 0:
-                self._epoch_boundary(learn=True)
+                self._epoch_boundary(learn=learn)
 
     def warmup(self, cycles: Optional[int] = None) -> None:
         """Section V-B warm-up period (no measurement)."""
@@ -341,15 +471,18 @@ class Simulator:
         )
         self.run_cycles(source, cycles, learn=True)
 
-    def measure_trace(self, records: List[TraceRecord], benchmark: str) -> RunResult:
-        """The measured testing phase: replay a trace to completion."""
-        replayer = TraceReplayer(
+    def make_replayer(self, records: List[TraceRecord]) -> TraceReplayer:
+        """The measurement-phase trace replayer (seeded per Section V-B)."""
+        return TraceReplayer(
             records,
             self.network.topology,
             flit_bits=self.config.flit_bits,
             rng=random.Random(self.seed + 303),
         )
-        before = StatsSnapshot(self.network.stats)
+
+    def begin_measurement(self) -> None:
+        """Arm the measurement window: snapshot stats, zero accumulators."""
+        self._measure_before = StatsSnapshot(self.network.stats)
         self._measuring = True
         self._measured_dynamic_pj = 0.0
         self._measured_static_pj = 0.0
@@ -357,9 +490,17 @@ class Simulator:
         self._measured_temp_sum = 0.0
         self._measured_error_sum = 0.0
 
+    def measure_trace(self, records: List[TraceRecord], benchmark: str) -> RunResult:
+        """The measured testing phase: replay a trace to completion."""
+        replayer = self.make_replayer(records)
+        self.begin_measurement()
         execution = self.run_until_drained(
             replayer, lambda: replayer.exhausted, learn=True
         )
+        return self.finish_measurement(benchmark, execution)
+
+    def finish_measurement(self, benchmark: str, execution: int) -> RunResult:
+        """Close the measurement window and assemble the RunResult."""
         partial = self.network.now % self.config.epoch_cycles
         if partial:
             # Fold the final partial epoch into the measurement window.
@@ -367,7 +508,7 @@ class Simulator:
 
         self._measuring = False
         after = StatsSnapshot(self.network.stats)
-        window = before.delta(after)
+        window = self._measure_before.delta(after)
         epochs = max(self._measured_epochs, 1)
         return RunResult(
             design=self.policy.name,

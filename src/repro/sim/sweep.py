@@ -10,12 +10,22 @@ completed point is worth persisting.  This module provides:
 * :func:`run_sweep_point` — the process-safe evaluator for a single
   point (also the ``--jobs 1`` serial path, so serial and parallel runs
   execute byte-identical code);
-* :class:`SweepRunner` — fans pending points out over a
-  ``multiprocessing`` pool, caches every result as JSON under
+* :class:`SweepRunner` — fans pending points out over supervised
+  ``multiprocessing`` workers, caches every result as JSON under
   ``.sweep_cache/`` keyed by a stable content hash of (config, point),
   and reports structured progress (done / cached / running, ETA).
   Re-running an identical grid — or resuming an interrupted one —
-  replays cached points without executing a single simulation;
+  replays cached points without executing a single simulation.
+
+  The runner is a *supervisor*, not a fire-and-forget pool: each point
+  runs in its own worker process with an optional wall-clock timeout,
+  a crashed or killed worker is detected by its exit code and its slot
+  replenished, and a failed point is retried with seeded exponential
+  backoff before being quarantined.  Results flush to the cache the
+  moment each point lands, so a SIGKILL mid-sweep loses at most the
+  points in flight.  :attr:`SweepRunner.report` summarizes the outcome
+  (completed / retried / quarantined / elapsed) as a
+  :class:`SweepReport`;
 * merge helpers that aggregate point results back into the
   benchmarks-x-designs shape :mod:`repro.sim.experiment` produces, so
   the normalized-to-baseline tables come out identical.
@@ -49,12 +59,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
 import random
 import sys
 import time
+import uuid
+import zlib
 from dataclasses import dataclass, field
+from multiprocessing import connection
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -85,6 +99,7 @@ __all__ = [
     "SweepSpec",
     "PointResult",
     "SweepProgress",
+    "SweepReport",
     "SweepCache",
     "SweepRunner",
     "point_cache_key",
@@ -97,9 +112,13 @@ __all__ = [
 
 #: Bump when an evaluator's semantics change, invalidating cached points.
 #: Schema 2: hard-fault campaigns (``chaos`` kind, ``fault_spec`` field).
-CACHE_SCHEMA = 2
+#: Schema 3: entries carry a CRC32 over the canonical payload JSON, so a
+#: bit-rotted or hand-mangled entry misses instead of replaying garbage.
+CACHE_SCHEMA = 3
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
+
+logger = logging.getLogger("repro.sim.sweep")
 
 POINT_KINDS = ("trace", "load", "suite", "mode_error", "chaos")
 
@@ -451,9 +470,41 @@ def run_sweep_point(config: SimulationConfig, point: SweepPoint) -> Dict[str, ob
     return payload
 
 
-def _pool_worker(job: Tuple[int, SimulationConfig, SweepPoint]):
-    index, config, point = job
-    return index, run_sweep_point(config, point)
+def _supervised_worker(conn, config: SimulationConfig, point: SweepPoint) -> None:
+    """Worker entry point: evaluate one point, report through the pipe.
+
+    Sends ``("ok", payload)`` or ``("error", reason)``; a worker that
+    dies before sending anything (OOM kill, segfault, SIGKILL) leaves
+    the pipe at EOF, which the supervisor detects as a hard death.
+    """
+    try:
+        payload = run_sweep_point(config, point)
+    except BaseException as exc:  # noqa: BLE001 - must never leak upward
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - supervisor gone
+            pass
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", payload))
+    finally:
+        conn.close()
+
+
+class _PendingTask:
+    """Supervisor bookkeeping for one not-yet-completed point."""
+
+    __slots__ = ("index", "key", "point", "attempts", "not_before")
+
+    def __init__(self, index: int, key: str, point: SweepPoint) -> None:
+        self.index = index
+        self.key = key
+        self.point = point
+        self.attempts = 0
+        #: monotonic time before which the task must not relaunch (backoff)
+        self.not_before = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -470,12 +521,33 @@ def point_cache_key(config: SimulationConfig, point: SweepPoint) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
 
+def _payload_crc(payload: Dict[str, object]) -> int:
+    """CRC32 over the canonical (sorted, compact) payload JSON.
+
+    Computed on the dumps->loads round trip so the checksum stored at
+    write time matches what a reader recomputes from the parsed entry
+    (tuples become lists, keys become strings) — the two serializations
+    are then byte-identical.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    normalized = json.dumps(
+        json.loads(canonical), sort_keys=True, separators=(",", ":")
+    )
+    return zlib.crc32(normalized.encode("utf-8")) & 0xFFFFFFFF
+
+
 class SweepCache:
     """One JSON file per completed point under ``root``.
 
-    Files are written atomically (temp + rename) so an interrupted sweep
-    never leaves a truncated entry; on resume, valid entries replay and
-    only the missing points execute.
+    Files are written atomically (uniquely-named temp + rename) so an
+    interrupted sweep never leaves a truncated entry and two workers
+    finishing the same key never trample each other's temp file; on
+    resume, valid entries replay and only the missing points execute.
+
+    :meth:`load` is a *validating* miss-on-anything-suspect reader: a
+    truncated file, a non-JSON file, a wrong schema, a malformed entry
+    shape, or a checksum mismatch all return None (cache miss) — the
+    cache never raises and never replays a corrupt payload.
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR) -> None:
@@ -489,11 +561,19 @@ class SweepCache:
         try:
             with path.open() as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
             return None
-        if entry.get("schema") != CACHE_SCHEMA:
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
             return None
-        return entry.get("payload")
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        try:
+            if _payload_crc(payload) != entry.get("crc32"):
+                return None
+        except (TypeError, ValueError):
+            return None
+        return payload
 
     def store(self, key: str, point: SweepPoint, payload: Dict[str, object]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -501,12 +581,21 @@ class SweepCache:
             "schema": CACHE_SCHEMA,
             "key": key,
             "point": dataclasses.asdict(point),
+            "crc32": _payload_crc(payload),
             "payload": payload,
         }
-        tmp = self.path(key).with_suffix(".tmp")
-        with tmp.open("w") as handle:
-            json.dump(entry, handle, indent=2)
-        os.replace(tmp, self.path(key))
+        # The temp name must be unique per writer: concurrent workers (or
+        # two sweeps sharing a cache dir) finishing the same key would
+        # otherwise write through the same ".tmp" path and race the
+        # rename, publishing an interleaved file.
+        tmp = self.root / f"{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
+            with tmp.open("w") as handle:
+                json.dump(entry, handle, indent=2)
+            os.replace(tmp, self.path(key))
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed write
+                tmp.unlink()
 
 
 # ----------------------------------------------------------------------
@@ -559,6 +648,8 @@ class SweepProgress:
     done: int = 0
     cached: int = 0
     running: int = 0
+    retried: int = 0
+    quarantined: int = 0
     executed_seconds: List[float] = field(default_factory=list)
     jobs: int = 1
     current: Optional[str] = None
@@ -580,26 +671,77 @@ def stderr_progress(progress: SweepProgress) -> None:
     """Default human-readable reporter: one status line per event."""
     eta = progress.eta_seconds()
     eta_text = f", eta ~{eta:.0f}s" if eta is not None else ""
+    trouble = ""
+    if progress.retried or progress.quarantined:
+        trouble = (
+            f", {progress.retried} retried, "
+            f"{progress.quarantined} quarantined"
+        )
     tail = f" [{progress.current}]" if progress.current else ""
     print(
         f"[sweep] {progress.done}/{progress.total} done "
-        f"({progress.cached} cached, {progress.running} running{eta_text}){tail}",
+        f"({progress.cached} cached, {progress.running} running"
+        f"{trouble}{eta_text}){tail}",
         file=sys.stderr,
     )
+
+
+@dataclass
+class SweepReport:
+    """Structured outcome of one :meth:`SweepRunner.run` invocation.
+
+    ``quarantined`` lists the labels of points that kept failing after
+    every retry (their result slots are None); ``retries`` counts retry
+    *attempts* across all points, ``timeouts`` and ``worker_deaths``
+    break down why workers were replaced.
+    """
+
+    total: int = 0
+    completed: int = 0
+    from_cache: int = 0
+    executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every point produced a result."""
+        return not self.quarantined
 
 
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
 class SweepRunner:
-    """Expand a spec, replay cached points, fan the rest over a pool.
+    """Expand a spec, replay cached points, supervise the rest.
 
     ``jobs=1`` runs pending points serially in-process through the exact
     same evaluator the workers use, so results are bit-identical across
     job counts.  ``use_cache=False`` disables both lookup and storage;
     ``refresh=True`` skips lookup but stores fresh results.  After
     :meth:`run`, ``executed`` counts simulations actually performed
-    (i.e. cache misses).
+    (i.e. cache misses) and :attr:`report` holds the structured
+    :class:`SweepReport`.
+
+    Supervision knobs:
+
+    ``point_timeout``
+        Wall-clock seconds one point may run before its worker is killed
+        and the point retried (None = no limit).  Only enforced on the
+        parallel path — a serial run cannot preempt itself.
+    ``max_retries``
+        How many times a failing point (evaluator exception, timeout, or
+        hard worker death) is relaunched before being *quarantined*: its
+        result slot stays None and the sweep carries on, so one poison
+        point cannot take down a thousand-point grid.
+    ``retry_base_delay`` / ``retry_jitter``
+        Exponential backoff between attempts:
+        ``base * 2**(attempt-1) * (1 + jitter * u)`` with ``u`` drawn
+        from a :class:`random.Random` seeded by (cache key, attempt) —
+        deterministic per point, decorrelated across points.
     """
 
     def __init__(
@@ -610,25 +752,47 @@ class SweepRunner:
         use_cache: bool = True,
         refresh: bool = False,
         progress: Optional[Callable[[SweepProgress], None]] = None,
+        point_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_base_delay: float = 0.5,
+        retry_jitter: float = 0.5,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError("point_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if retry_base_delay < 0 or retry_jitter < 0:
+            raise ValueError("backoff parameters cannot be negative")
         self.spec = spec
         self.jobs = jobs
         self.cache = SweepCache(cache_dir) if use_cache else None
         self.refresh = refresh
         self.progress = progress
+        self.point_timeout = point_timeout
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_jitter = retry_jitter
         self.executed = 0
+        self.report: Optional[SweepReport] = None
 
     # ------------------------------------------------------------------
-    def run(self) -> List[PointResult]:
-        """Execute the grid; results are in spec expansion order."""
+    def run(self) -> List[Optional[PointResult]]:
+        """Execute the grid; results are in spec expansion order.
+
+        A quarantined point's slot is None — the merge helpers skip
+        None, and :attr:`report` names every quarantined point.
+        """
+        started = time.monotonic()
         points = self.spec.expand()
         results: List[Optional[PointResult]] = [None] * len(points)
         state = SweepProgress(total=len(points), jobs=self.jobs)
+        report = SweepReport(total=len(points))
         self.executed = 0
+        self.report = report
 
-        pending: List[Tuple[int, str, SweepPoint]] = []
+        pending: List[_PendingTask] = []
         for index, point in enumerate(points):
             key = point_cache_key(self.spec.config, point)
             payload = (
@@ -638,40 +802,219 @@ class SweepRunner:
                 results[index] = _payload_to_result(point, payload, cached=True)
                 state.cached += 1
                 state.done += 1
+                report.from_cache += 1
+                report.completed += 1
             else:
-                pending.append((index, key, point))
+                pending.append(_PendingTask(index, key, point))
         self._report(state)
 
-        if not pending:
-            return results
-
-        if self.jobs == 1:
-            for index, key, point in pending:
-                state.running = 1
-                state.current = point.label()
-                self._report(state)
-                payload = run_sweep_point(self.spec.config, point)
-                state.running = 0
-                self._finish(index, key, point, payload, results, state)
-            return results
-
-        keys = {index: key for index, key, _ in pending}
-        jobs = [(index, self.spec.config, point) for index, _, point in pending]
-        with multiprocessing.Pool(processes=min(self.jobs, len(jobs))) as pool:
-            outstanding = len(jobs)
-            state.running = min(self.jobs, outstanding)
-            self._report(state)
-            for index, payload in pool.imap_unordered(_pool_worker, jobs):
-                outstanding -= 1
-                state.running = min(self.jobs, outstanding)
-                self._finish(index, keys[index], points[index], payload, results, state)
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, results, state, report)
+            else:
+                self._run_supervised(pending, results, state, report)
+        report.elapsed_seconds = time.monotonic() - started
         return results
 
     # ------------------------------------------------------------------
-    def _finish(self, index, key, point, payload, results, state) -> None:
+    def _backoff_delay(self, key: str, attempt: int) -> float:
+        """Seeded exponential backoff with jitter for retry ``attempt``."""
+        rng = random.Random(zlib.crc32(key.encode("utf-8")) + attempt)
+        return (
+            self.retry_base_delay
+            * (2.0 ** (attempt - 1))
+            * (1.0 + self.retry_jitter * rng.random())
+        )
+
+    def _run_serial(self, pending, results, state, report) -> None:
+        for task in pending:
+            state.running = 1
+            state.current = task.point.label()
+            self._report(state)
+            payload = None
+            reason = ""
+            while payload is None:
+                try:
+                    payload = run_sweep_point(self.spec.config, task.point)
+                except Exception as exc:  # noqa: BLE001 - quarantine, not crash
+                    task.attempts += 1
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if task.attempts > self.max_retries:
+                        break
+                    report.retries += 1
+                    state.retried += 1
+                    delay = self._backoff_delay(task.key, task.attempts)
+                    logger.warning(
+                        "point %s failed (%s); retry %d/%d in %.2fs",
+                        task.point.label(), reason,
+                        task.attempts, self.max_retries, delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+            state.running = 0
+            if payload is None:
+                self._quarantine(task, reason, report, state)
+            else:
+                self._finish(task.index, task.key, task.point, payload,
+                             results, state, report)
+
+    # ------------------------------------------------------------------
+    def _run_supervised(self, pending, results, state, report) -> None:
+        """Per-point worker processes under timeout/retry supervision."""
+        ctx = multiprocessing.get_context()
+        waiting = list(pending)
+        active: Dict[object, List] = {}  # conn -> [task, process, deadline]
+        try:
+            while waiting or active:
+                now = time.monotonic()
+                launched = False
+                while len(active) < self.jobs:
+                    ready = [t for t in waiting if t.not_before <= now]
+                    if not ready:
+                        break
+                    task = min(ready, key=lambda t: t.index)
+                    waiting.remove(task)
+                    parent, child = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_supervised_worker,
+                        args=(child, self.spec.config, task.point),
+                        daemon=True,
+                    )
+                    process.start()
+                    child.close()
+                    deadline = (
+                        now + self.point_timeout
+                        if self.point_timeout is not None
+                        else None
+                    )
+                    active[parent] = [task, process, deadline]
+                    launched = True
+                state.running = len(active)
+                if launched:
+                    self._report(state)
+
+                if not active:
+                    # Every remaining task is backing off; sleep until the
+                    # earliest becomes launchable.
+                    wake = min(t.not_before for t in waiting)
+                    time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                ready_conns = connection.wait(
+                    list(active), timeout=self._wait_timeout(active, waiting)
+                )
+                for conn in ready_conns:
+                    task, process, _deadline = active.pop(conn)
+                    outcome, value = self._collect(conn, process)
+                    state.running = len(active)
+                    if outcome == "ok":
+                        self._finish(task.index, task.key, task.point, value,
+                                     results, state, report)
+                    else:
+                        if outcome == "death":
+                            report.worker_deaths += 1
+                        self._handle_failure(task, value, waiting, report, state)
+
+                now = time.monotonic()
+                for conn in list(active):
+                    task, process, deadline = active[conn]
+                    if deadline is not None and now >= deadline:
+                        del active[conn]
+                        self._kill(process)
+                        conn.close()
+                        report.timeouts += 1
+                        state.running = len(active)
+                        self._handle_failure(
+                            task,
+                            f"timed out after {self.point_timeout:g}s",
+                            waiting, report, state,
+                        )
+        finally:
+            for conn, (task, process, _deadline) in active.items():
+                self._kill(process)
+                conn.close()
+
+    def _wait_timeout(self, active, waiting) -> Optional[float]:
+        """How long :func:`connection.wait` may block: until the nearest
+        worker deadline, or the nearest backoff expiry if a slot is free
+        (a dead worker needs no timeout — its pipe hits EOF)."""
+        now = time.monotonic()
+        candidates = [
+            deadline - now
+            for _task, _process, deadline in active.values()
+            if deadline is not None
+        ]
+        if len(active) < self.jobs and waiting:
+            candidates.append(min(t.not_before for t in waiting) - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    def _collect(self, conn, process):
+        """Drain one finished worker; classify its outcome."""
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            message = None
+        finally:
+            conn.close()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stuck after sending
+            self._kill(process)
+        if message is None:
+            return "death", f"worker died (exitcode {process.exitcode})"
+        status, value = message
+        if status == "ok":
+            return "ok", value
+        return "error", value
+
+    @staticmethod
+    def _kill(process) -> None:
+        if not process.is_alive():
+            process.join(timeout=1.0)
+            return
+        process.terminate()
+        process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - terminate ignored
+            process.kill()
+            process.join(timeout=2.0)
+
+    def _handle_failure(self, task, reason, waiting, report, state) -> None:
+        task.attempts += 1
+        if task.attempts > self.max_retries:
+            self._quarantine(task, reason, report, state)
+            return
+        report.retries += 1
+        state.retried += 1
+        delay = self._backoff_delay(task.key, task.attempts)
+        task.not_before = time.monotonic() + delay
+        waiting.append(task)
+        logger.warning(
+            "point %s failed (%s); retry %d/%d in %.2fs",
+            task.point.label(), reason, task.attempts, self.max_retries, delay,
+        )
+        self._report(state)
+
+    def _quarantine(self, task, reason, report, state) -> None:
+        label = task.point.label()
+        report.quarantined.append(label)
+        state.quarantined += 1
+        state.done += 1
+        state.current = label
+        logger.error(
+            "point %s quarantined after %d attempt(s): %s",
+            label, task.attempts, reason,
+        )
+        self._report(state)
+
+    # ------------------------------------------------------------------
+    def _finish(self, index, key, point, payload, results, state, report) -> None:
         if self.cache:
+            # Flush incrementally: a kill between points loses nothing.
             self.cache.store(key, point, payload)
         self.executed += 1
+        report.executed += 1
+        report.completed += 1
         state.executed_seconds.append(float(payload.get("elapsed", 0.0)))
         results[index] = _payload_to_result(point, payload, cached=False)
         state.done += 1

@@ -64,3 +64,45 @@ class TestPolicyInterface:
     def test_select_is_required(self):
         policy = _CountingPolicy()
         assert policy.select(3, _obs(3)) is OperationMode.MODE_0
+
+
+class TestRewardGuard:
+    def test_nan_latency_clamped_and_counted(self):
+        from repro.core.controller import REWARD_GUARD
+
+        REWARD_GUARD.reset()
+        reward = compute_reward(float("nan"), 0.01)
+        assert reward == pytest.approx(compute_reward(1.0, 0.01))
+        assert REWARD_GUARD.events == 1
+
+    def test_nan_power_clamped_and_counted(self):
+        from repro.core.controller import REWARD_GUARD
+
+        REWARD_GUARD.reset()
+        reward = compute_reward(20.0, float("nan"))
+        assert reward == pytest.approx(compute_reward(20.0, 1e-6))
+        assert REWARD_GUARD.events == 1
+
+    def test_inf_inputs_clamped(self):
+        from repro.core.controller import REWARD_GUARD
+
+        REWARD_GUARD.reset()
+        import math
+
+        assert math.isfinite(compute_reward(float("inf"), float("-inf")))
+        assert REWARD_GUARD.events == 2
+
+    def test_reward_never_nan(self):
+        import math
+
+        for latency in (float("nan"), float("inf"), -1.0, 0.0, 5.0):
+            for power in (float("nan"), float("inf"), -1.0, 0.0, 0.01):
+                assert math.isfinite(compute_reward(latency, power))
+
+    def test_guard_reset_returns_count(self):
+        from repro.core.controller import REWARD_GUARD
+
+        REWARD_GUARD.reset()
+        compute_reward(float("nan"), float("nan"))
+        assert REWARD_GUARD.reset() == 2
+        assert REWARD_GUARD.events == 0

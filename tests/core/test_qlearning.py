@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.qlearning import QLearningAgent
+from repro.core.qlearning import AgentStateError, QLearningAgent
 
 
 class TestConstruction:
@@ -141,3 +141,108 @@ def test_property_q_values_bounded_by_return(rewards, gamma):
     for i, r in enumerate(rewards):
         agent.update("s", i % 2, r, "s")
         assert all(0.0 <= q <= bound for q in agent.q_values("s"))
+
+
+# ----------------------------------------------------------------------
+# Durable state (checkpoint/resume)
+# ----------------------------------------------------------------------
+class TestDurableState:
+    def test_round_trip_preserves_learning(self):
+        agent = QLearningAgent(4, alpha=0.3, gamma=0.7, epsilon=0.2,
+                               rng=random.Random(7))
+        for i in range(50):
+            agent.update((i % 5,), i % 4, float(i), ((i + 1) % 5,))
+        clone = QLearningAgent.from_state(agent.to_state())
+        assert clone.num_actions == agent.num_actions
+        assert clone.alpha == agent.alpha
+        assert clone.gamma == agent.gamma
+        assert clone.epsilon == agent.epsilon
+        assert clone.updates == agent.updates
+        for s in range(5):
+            assert clone.q_values((s,)) == agent.q_values((s,))
+        # identical RNG state: the exploration streams stay in lockstep
+        assert [clone.select_action((i % 5,)) for i in range(30)] == [
+            agent.select_action((i % 5,)) for i in range(30)
+        ]
+
+    def test_to_state_is_a_deep_copy(self):
+        agent = QLearningAgent(2)
+        agent.update("s", 0, 1.0, "s")
+        state = agent.to_state()
+        state["table"]["s"][0] = 999.0
+        assert agent.q_values("s")[0] != 999.0
+
+    def test_rejects_nan_q_values(self):
+        agent = QLearningAgent(2)
+        agent.update("s", 0, 1.0, "s")
+        state = agent.to_state()
+        state["table"]["s"][1] = float("nan")
+        with pytest.raises(AgentStateError, match="non-finite"):
+            QLearningAgent.from_state(state)
+
+    def test_rejects_inf_q_values(self):
+        agent = QLearningAgent(2)
+        agent.update("s", 0, 1.0, "s")
+        state = agent.to_state()
+        state["table"]["s"][0] = float("inf")
+        with pytest.raises(AgentStateError, match="non-finite"):
+            QLearningAgent.from_state(state)
+
+    def test_rejects_mismatched_action_count(self):
+        agent = QLearningAgent(4)
+        agent.update("s", 0, 1.0, "s")
+        state = agent.to_state()
+        state["table"]["s"] = [0.0, 1.0]  # row narrower than num_actions
+        with pytest.raises(AgentStateError, match="expected 4"):
+            QLearningAgent.from_state(state)
+
+    def test_rejects_malformed_snapshots(self):
+        with pytest.raises(AgentStateError):
+            QLearningAgent.from_state("not a dict")
+        with pytest.raises(AgentStateError):
+            QLearningAgent.from_state({})
+        with pytest.raises(AgentStateError, match="action count"):
+            QLearningAgent.from_state({"num_actions": 0, "table": {}})
+        with pytest.raises(AgentStateError, match="dict"):
+            QLearningAgent.from_state({"num_actions": 2, "table": [1, 2]})
+        with pytest.raises(AgentStateError, match="RNG"):
+            QLearningAgent.from_state(
+                {"num_actions": 2, "table": {}, "rng_state": "bogus"}
+            )
+
+    def test_rejects_invalid_hyperparameters(self):
+        with pytest.raises(AgentStateError, match="hyper"):
+            QLearningAgent.from_state(
+                {"num_actions": 2, "table": {}, "alpha": 7.0}
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_actions=st.integers(min_value=1, max_value=6),
+    transitions=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),   # state
+            st.integers(min_value=0, max_value=1000),  # action (mod num_actions)
+            st.floats(min_value=-50.0, max_value=50.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=0, max_value=7),   # next state
+        ),
+        max_size=60,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_state_round_trip(num_actions, transitions, seed):
+    """Satellite: from_state(to_state()) preserves Q-values and the
+    greedy policy for arbitrary visited-state sets."""
+    agent = QLearningAgent(num_actions, rng=random.Random(seed))
+    for s, a, r, s2 in transitions:
+        agent.update((s,), a % num_actions, r, (s2,))
+    clone = QLearningAgent.from_state(agent.to_state())
+    visited = {s for s, _, _, _ in transitions} | {
+        s2 for _, _, _, s2 in transitions
+    }
+    for s in visited:
+        assert clone.q_values((s,)) == agent.q_values((s,))
+    assert clone.greedy_policy() == agent.greedy_policy()
+    assert clone.updates == agent.updates

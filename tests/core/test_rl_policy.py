@@ -115,3 +115,96 @@ class TestIntrospection:
         dist = policy.mode_distribution()
         assert sum(dist.values()) == policy.states_visited()
         assert dist[OperationMode.MODE_2] == 1
+
+
+class TestSafeMode:
+    def test_safe_mode_pins_router_to_mode_3(self):
+        policy = RLControlPolicy(seed=0)
+        policy.reset(4)
+        assert policy.enter_safe_mode(2, "watchdog trip") is True
+        assert policy.select(2, obs((0, 0, 0, 0))) == OperationMode.MODE_3
+        assert 2 in policy.safe_mode_routers
+        assert policy.safe_mode_events[0]["reason"] == "watchdog trip"
+
+    def test_safe_mode_router_stops_learning(self):
+        policy = RLControlPolicy(seed=0)
+        policy.reset(2)
+        policy.enter_safe_mode(0, "rejected table")
+        before = policy.total_updates()
+        policy.learn(0, obs((0,)), OperationMode.MODE_0, 1.0, obs((1,)))
+        assert policy.total_updates() == before
+        policy.learn(1, obs((0,)), OperationMode.MODE_0, 1.0, obs((1,)))
+        assert policy.total_updates() == before + 1
+
+    def test_enter_safe_mode_is_idempotent(self):
+        policy = RLControlPolicy(seed=0)
+        policy.reset(2)
+        policy.enter_safe_mode(1, "first")
+        policy.enter_safe_mode(1, "second")
+        assert len(policy.safe_mode_events) == 1
+
+
+class TestDurableState:
+    def _trained(self, num_routers=3, share=False):
+        policy = RLControlPolicy(seed=5, share_table=share)
+        policy.reset(num_routers)
+        for step in range(40):
+            rid = step % num_routers
+            policy.learn(
+                rid, obs((step % 4,), rid), OperationMode(step % 4),
+                float(step), obs(((step + 1) % 4,), rid),
+            )
+        return policy
+
+    def test_state_round_trip_preserves_behaviour(self):
+        policy = self._trained()
+        clone = RLControlPolicy(seed=5)
+        clone.load_state(policy.to_state())
+        assert clone.total_updates() == policy.total_updates()
+        assert clone.states_visited() == policy.states_visited()
+        for rid in range(3):
+            seq_a = [int(policy.select(rid, obs((i % 4,), rid))) for i in range(20)]
+            seq_b = [int(clone.select(rid, obs((i % 4,), rid))) for i in range(20)]
+            assert seq_a == seq_b
+
+    def test_shared_table_round_trip(self):
+        policy = self._trained(share=True)
+        clone = RLControlPolicy(seed=5, share_table=True)
+        clone.load_state(policy.to_state())
+        assert clone.total_updates() == policy.total_updates()
+        assert len(clone._unique_agents()) == 1
+
+    def test_load_state_none_is_noop(self):
+        policy = self._trained()
+        updates = policy.total_updates()
+        policy.load_state(None)
+        assert policy.total_updates() == updates
+
+    def test_poisoned_table_degrades_instead_of_raising(self):
+        policy = self._trained()
+        state = policy.to_state()
+        agent_state = state["agents"][1]
+        key = next(iter(agent_state["table"]))
+        agent_state["table"][key][0] = float("nan")
+        clone = RLControlPolicy(seed=5)
+        clone.load_state(state)  # must not raise
+        assert clone.safe_mode_routers == {1}
+        assert clone.select(1, obs((0,), 1)) == OperationMode.MODE_3
+        # untouched routers load normally and keep their tables
+        assert clone.select(0, obs((0,), 0)) in OperationMode
+
+    def test_poisoned_shared_table_degrades_all_routers(self):
+        policy = self._trained(share=True)
+        state = policy.to_state()
+        key = next(iter(state["agents"][0]["table"]))
+        state["agents"][0]["table"][key][0] = float("inf")
+        clone = RLControlPolicy(seed=5, share_table=True)
+        clone.load_state(state)
+        assert clone.safe_mode_routers == {0, 1, 2}
+
+    def test_snapshot_remembers_degraded_routers(self):
+        policy = self._trained()
+        policy.enter_safe_mode(2, "watchdog trip")
+        clone = RLControlPolicy(seed=5)
+        clone.load_state(policy.to_state())
+        assert 2 in clone.safe_mode_routers

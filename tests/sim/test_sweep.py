@@ -2,6 +2,8 @@
 
 import dataclasses
 import json
+import os
+import time
 
 import pytest
 
@@ -195,6 +197,224 @@ class TestCacheKeys:
         cache.root.mkdir(exist_ok=True)
         cache.path("deadbeef").write_text("{truncated")
         assert cache.load("deadbeef") is None
+
+
+class TestCacheCorruption:
+    """Satellite: every corruption path misses quietly, never raises."""
+
+    def _stored(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        point = SweepPoint(
+            kind="trace", design="crc", traffic="canneal", seed=0, cycles=400
+        )
+        key = point_cache_key(tiny_config(), point)
+        cache.store(key, point, {"run": {"mean_latency": 12.5}, "elapsed": 1.0})
+        return cache, key
+
+    def test_checksum_mismatch_misses(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        entry = json.loads(cache.path(key).read_text())
+        entry["payload"]["run"]["mean_latency"] = 99.0  # tamper, stale crc32
+        cache.path(key).write_text(json.dumps(entry))
+        assert cache.load(key) is None
+
+    def test_truncated_json_misses(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        blob = cache.path(key).read_text()
+        cache.path(key).write_text(blob[: len(blob) // 2])
+        assert cache.load(key) is None
+
+    def test_binary_garbage_misses(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        cache.path(key).write_bytes(b"\x00\xff\xfe garbage \x80")
+        assert cache.load(key) is None
+
+    def test_non_dict_entry_misses(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        cache.path(key).write_text("[1, 2, 3]")
+        assert cache.load(key) is None
+
+    def test_non_dict_payload_misses(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        entry = json.loads(cache.path(key).read_text())
+        entry["payload"] = "oops"
+        cache.path(key).write_text(json.dumps(entry))
+        assert cache.load(key) is None
+
+    def test_intact_entry_still_hits(self, tmp_path):
+        cache, key = self._stored(tmp_path)
+        payload = cache.load(key)
+        assert payload is not None
+        assert payload["run"]["mean_latency"] == 12.5
+
+    def test_store_uses_unique_tmp_name(self, tmp_path, monkeypatch):
+        """Satellite: concurrent sweeps sharing a cache dir must not race
+        on a shared `<key>.tmp` — the tmp name carries pid + random part."""
+        cache = SweepCache(tmp_path)
+        point = SweepPoint(
+            kind="trace", design="crc", traffic="canneal", seed=0, cycles=400
+        )
+        key = point_cache_key(tiny_config(), point)
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.sim.sweep.os.replace", spy)
+        cache.store(key, point, {"run": None})
+        (src, dst) = seen[0]
+        assert dst.endswith(f"{key}.json")
+        assert src != f"{dst}.tmp"
+        assert str(os.getpid()) in os.path.basename(src)
+        # no tmp residue either way
+        assert [p.name for p in cache.root.iterdir()] == [f"{key}.json"]
+
+
+# ----------------------------------------------------------------------
+# Supervision: retries, quarantine, timeouts, worker death
+# ----------------------------------------------------------------------
+_FLAKY_CALLS = {"n": 0}
+
+
+def _always_failing_point(config, point):
+    raise RuntimeError("poison point")
+
+
+def _flaky_point(config, point):
+    _FLAKY_CALLS["n"] += 1
+    if _FLAKY_CALLS["n"] == 1:
+        raise RuntimeError("transient glitch")
+    from repro.sim.sweep import _EVALUATORS
+
+    payload = _EVALUATORS[point.kind](config, point)
+    payload["elapsed"] = 0.0
+    return payload
+
+
+def _hanging_point(config, point):
+    time.sleep(60)
+
+
+def _dying_point(config, point):
+    os._exit(13)
+
+
+class TestSupervision:
+    def _runner(self, tmp_path, **kwargs):
+        kwargs.setdefault("cache_dir", tmp_path)
+        kwargs.setdefault("retry_base_delay", 0.01)
+        return SweepRunner(tiny_trace_spec(), **kwargs)
+
+    def test_serial_quarantines_poison_point(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_sweep_point", _always_failing_point
+        )
+        runner = self._runner(tmp_path, jobs=1, max_retries=1)
+        results = runner.run()
+        assert results == [None, None]
+        report = runner.report
+        assert not report.succeeded
+        assert len(report.quarantined) == 2
+        assert report.retries == 2  # one retry per point
+        assert report.completed == 0
+
+    def test_serial_retry_recovers_flaky_point(self, tmp_path, monkeypatch):
+        _FLAKY_CALLS["n"] = 0
+        monkeypatch.setattr("repro.sim.sweep.run_sweep_point", _flaky_point)
+        runner = self._runner(tmp_path, jobs=1, max_retries=2)
+        results = runner.run()
+        assert all(r is not None for r in results)
+        assert runner.report.succeeded
+        assert runner.report.retries == 1
+        assert runner.report.completed == 2
+
+    def test_supervised_quarantines_poison_point(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.sim.sweep.run_sweep_point", _always_failing_point
+        )
+        runner = self._runner(tmp_path, jobs=2, max_retries=0)
+        results = runner.run()
+        assert results == [None, None]
+        assert len(runner.report.quarantined) == 2
+        assert runner.report.succeeded is False
+
+    def test_supervised_timeout_kills_and_quarantines(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.sim.sweep.run_sweep_point", _hanging_point)
+        runner = self._runner(
+            tmp_path, jobs=2, max_retries=0, point_timeout=0.5
+        )
+        started = time.monotonic()
+        results = runner.run()
+        elapsed = time.monotonic() - started
+        assert results == [None, None]
+        assert runner.report.timeouts == 2
+        assert len(runner.report.quarantined) == 2
+        assert elapsed < 30  # nowhere near the 60 s the points would hang
+
+    def test_supervised_detects_hard_worker_death(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.sim.sweep.run_sweep_point", _dying_point)
+        runner = self._runner(tmp_path, jobs=2, max_retries=0)
+        results = runner.run()
+        assert results == [None, None]
+        assert runner.report.worker_deaths == 2
+        assert len(runner.report.quarantined) == 2
+
+    def test_quarantine_does_not_block_healthy_points(self, tmp_path, monkeypatch):
+        """One poison point must not take down the rest of the sweep, and
+        surviving results are flushed to the cache incrementally."""
+        real = run_sweep_point_original = __import__(
+            "repro.sim.sweep", fromlist=["run_sweep_point"]
+        ).run_sweep_point
+
+        def poison_first(config, point):
+            if point.design == "crc":
+                raise RuntimeError("poison")
+            return real(config, point)
+
+        monkeypatch.setattr("repro.sim.sweep.run_sweep_point", poison_first)
+        runner = self._runner(tmp_path, jobs=2, max_retries=0)
+        results = runner.run()
+        assert results[0] is None  # crc quarantined
+        assert results[1] is not None  # arq_ecc survived
+        assert len(runner.report.quarantined) == 1
+        assert runner.report.completed == 1
+        # the healthy point is in the cache despite the failed sweep
+        spec = tiny_trace_spec()
+        key = point_cache_key(spec.config, spec.expand()[1])
+        assert SweepCache(tmp_path).load(key) is not None
+
+    def test_backoff_is_seeded_and_grows(self, tmp_path):
+        runner = self._runner(
+            tmp_path, retry_base_delay=0.5, retry_jitter=0.5
+        )
+        d1 = runner._backoff_delay("somekey", 1)
+        assert d1 == runner._backoff_delay("somekey", 1)  # deterministic
+        assert runner._backoff_delay("otherkey", 1) != d1  # decorrelated
+        assert runner._backoff_delay("somekey", 3) > d1  # exponential
+        assert 0.5 <= d1 <= 0.75 * 1.5
+
+    def test_report_counts_cache_hits(self, tmp_path):
+        spec = tiny_trace_spec()
+        SweepRunner(spec, cache_dir=tmp_path).run()
+        replay = SweepRunner(spec, cache_dir=tmp_path)
+        replay.run()
+        report = replay.report
+        assert report.total == 2
+        assert report.from_cache == 2
+        assert report.completed == 2
+        assert report.executed == 0
+        assert report.succeeded
+        assert report.elapsed_seconds >= 0.0
+
+    def test_invalid_supervision_knobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="point_timeout"):
+            self._runner(tmp_path, point_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            self._runner(tmp_path, max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            self._runner(tmp_path, retry_base_delay=-1.0)
 
 
 class TestRunnerCaching:
