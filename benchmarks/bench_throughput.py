@@ -1,0 +1,95 @@
+"""Cycle-kernel throughput: activity-driven (fast) vs full-scan (naive).
+
+Runs the three workload shapes of :mod:`repro.sim.bench` on both cycle
+kernels, asserts the bit-identity contract (both kernels must produce
+the same stats digest from the same seed), and prints the measured
+cycles/second table together with the committed trajectory
+(``BENCH_kernel.json`` at the repo root) for before/after context.
+
+The asserted floors are deliberately loose — absolute cycles/second are
+machine-dependent and the fast/naive *ratio* at saturation hovers near
+1x (at full load there is nothing to skip).  The strong, stable claims
+are (a) digest equality and (b) the idle-scenario ratio, which is driven
+by the fast-forward path and sits orders of magnitude above 1.
+
+Scaling knobs: ``REPRO_BENCH_KERNEL_QUICK=1`` switches to the reduced
+CI cycle counts; ``REPRO_BENCH_KERNEL_SCENARIOS`` selects a comma
+separated subset.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.sim.bench import SCENARIOS, format_report, run_bench
+
+from conftest import print_figure
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _scenarios():
+    raw = os.environ.get("REPRO_BENCH_KERNEL_SCENARIOS")
+    if not raw:
+        return None
+    names = [n.strip() for n in raw.split(",") if n.strip()]
+    unknown = set(names) - set(SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    return names
+
+
+def bench_kernel_throughput():
+    quick = os.environ.get("REPRO_BENCH_KERNEL_QUICK") == "1"
+    payload = run_bench(quick=quick, seed=0, scenarios=_scenarios())
+
+    # run_bench raises on digest divergence; reaching here means every
+    # scenario was bit-identical across kernels.
+    rows = []
+    for name, row in payload["scenarios"].items():
+        rows.append(
+            (
+                name,
+                row["fast"]["cycles_per_second"],
+                row["naive"]["cycles_per_second"],
+                row["speedup"],
+            )
+        )
+    print_figure(
+        "Kernel throughput (cycles/second)",
+        ("scenario", "fast", "naive", "ratio"),
+        rows,
+    )
+
+    if "idle" in payload["scenarios"]:
+        # Fast-forward makes idle-heavy spans essentially free; even on a
+        # loaded machine the ratio stays far above this floor.
+        assert payload["speedups"]["idle"] > 3.0, payload["speedups"]
+
+    if TRAJECTORY.exists():
+        with TRAJECTORY.open() as handle:
+            trajectory = json.load(handle)
+        print("\ncommitted trajectory (BENCH_kernel.json):")
+        for entry in trajectory.get("entries", []):
+            label = entry.get("label", "(unlabelled)")
+            if "cycles_per_second" in entry:  # seed-era absolute numbers
+                rates = ", ".join(
+                    f"{k} {v:,.0f} c/s"
+                    for k, v in entry["cycles_per_second"].items()
+                )
+            else:
+                rates = ", ".join(
+                    f"{k} {row['fast']['cycles_per_second']:,.0f} c/s"
+                    for k, row in entry.get("scenarios", {}).items()
+                )
+            print(f"  - {label}: {rates}")
+
+
+def test_kernel_bench():
+    bench_kernel_throughput()
+
+
+if __name__ == "__main__":
+    bench_kernel_throughput()
+    print()
+    print(format_report(run_bench(quick=True, seed=0)))

@@ -1,11 +1,13 @@
 """Command-line interface: run experiments without writing Python.
 
-Five subcommands:
+Six subcommands:
 
 ``run``
     One (design, benchmark) measurement with the full phase structure.
     ``--checkpoint FILE --checkpoint-every N`` snapshots the whole
     simulation every N cycles so a killed run can be continued.
+    ``--profile`` wraps the run in cProfile and prints the hottest
+    functions plus the cycle kernel's activity counters to stderr.
 ``resume``
     Continue a checkpointed ``run`` from its snapshot file; the final
     metrics are bit-identical to an uninterrupted run.
@@ -18,6 +20,11 @@ Five subcommands:
     Graceful-degradation campaigns: routing policies crossed with
     hard-fault schedules (link/router kills, error bursts), reporting
     delivered fraction, reroutes, drops, and post-fault latency.
+``bench``
+    Kernel throughput benchmark (fast vs naive cycle kernel) over the
+    idle/saturated/chaos scenarios; ``--check BENCH_kernel.json`` fails
+    on a speedup-ratio regression, ``--output`` appends the run to the
+    trajectory file.
 
 ``compare``, ``sweep``, and ``chaos`` are grids of independent
 simulations, so all go through :mod:`repro.sim.sweep`: ``--jobs N`` fans
@@ -61,6 +68,12 @@ from repro.sim import (
 )
 from repro.faults import parse_fault_spec
 from repro.noc.routing import ROUTING_FUNCTIONS
+from repro.sim.bench import (
+    SCENARIOS as BENCH_SCENARIOS,
+    check_regression,
+    format_report,
+    run_bench,
+)
 from repro.sim.checkpoint import CheckpointError, ResumableRun, read_checkpoint_meta
 from repro.sim.sweep import DEFAULT_CACHE_DIR
 from repro.traffic import PARSEC_PROFILES
@@ -168,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=5_000, metavar="CYCLES",
         help="cycles between snapshots (default: %(default)s)",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="profile the run; print hot functions + kernel activity counters",
+    )
     _add_platform_args(run)
 
     resume = sub.add_parser(
@@ -217,6 +234,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_args(chaos)
     _add_sweep_args(chaos)
 
+    bench = sub.add_parser(
+        "bench", help="fast-vs-naive cycle-kernel throughput benchmark"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced cycle counts (CI smoke scale)",
+    )
+    bench.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated subset of: " + ", ".join(BENCH_SCENARIOS),
+    )
+    bench.add_argument("--width", type=int, default=4, help="mesh width")
+    bench.add_argument("--height", type=int, default=4, help="mesh height")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="compare speedup ratios against the latest entry of FILE; "
+        "exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional speedup erosion for --check (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="append this run as a new entry of the trajectory FILE",
+    )
+    bench.add_argument(
+        "--label", default=None,
+        help="label recorded with the --output entry",
+    )
+    bench.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
     return parser
 
 
@@ -235,9 +285,36 @@ def _print_result(result, as_json: bool) -> None:
             print(f"{key:26s} {value}")
 
 
+def _print_profile(profiler, network) -> None:
+    """Hot-function table plus the kernel's activity counters (stderr)."""
+    import io
+    import pstats
+
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(20)
+    print(buf.getvalue(), file=sys.stderr)
+    counters = network.activity.counters()
+    print(f"[profile] cycle kernel: {network.kernel}", file=sys.stderr)
+    for name, value in counters.items():
+        print(f"[profile] {name:24s} {value}", file=sys.stderr)
+    total = network.now
+    if total > 0:
+        skipped = counters["fast_forwarded_cycles"]
+        print(
+            f"[profile] {skipped} of {total} cycles "
+            f"({skipped / total:.1%}) fast-forwarded",
+            file=sys.stderr,
+        )
+
+
 def cmd_run(args) -> int:
     _check_benchmark(args.benchmark)
     config = _config_from_args(args)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     if args.checkpoint is not None:
         if args.design not in DESIGN_ORDER:
             raise SystemExit(
@@ -254,10 +331,17 @@ def cmd_run(args) -> int:
             f"{args.checkpoint} every {args.checkpoint_every} cycles ...",
             file=sys.stderr,
         )
+        if profiler is not None:
+            profiler.enable()
         result = run.run()
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler, run.sim.network)
     else:
         policy = make_policy(args.design, args.seed)
         sim = Simulator(config, policy, seed=args.seed)
+        if profiler is not None:
+            profiler.enable()
         if policy.trainable:
             print(f"pre-training {args.design} ...", file=sys.stderr)
             sim.pretrain()
@@ -267,6 +351,9 @@ def cmd_run(args) -> int:
             args.benchmark, config, args.trace_cycles, args.seed
         )
         result = sim.measure_trace(trace, args.benchmark)
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler, sim.network)
     _print_result(result, args.json)
     return 0
 
@@ -442,6 +529,95 @@ def cmd_chaos(args) -> int:
     return worst
 
 
+def _load_trajectory(path: str) -> dict:
+    """Read a BENCH_kernel.json trajectory file ({version, entries})."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return {"version": 1, "entries": []}
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {path}: {exc}") from None
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise SystemExit(f"{path} is not a bench trajectory file")
+    return data
+
+
+def _latest_baseline(trajectory: dict) -> Optional[dict]:
+    """Most recent entry carrying speedup ratios (regression baseline)."""
+    for entry in reversed(trajectory["entries"]):
+        if entry.get("speedups"):
+            return entry
+    return None
+
+
+def cmd_bench(args) -> int:
+    names = None
+    if args.scenarios:
+        names = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        unknown = [n for n in names if n not in BENCH_SCENARIOS]
+        if unknown:
+            raise SystemExit(
+                f"unknown scenario(s) {', '.join(unknown)}; pick from "
+                + ", ".join(BENCH_SCENARIOS)
+            )
+    print(
+        f"benchmarking kernels ({'quick' if args.quick else 'full'} scale, "
+        f"{args.width}x{args.height} mesh, seed {args.seed}) ...",
+        file=sys.stderr,
+    )
+    try:
+        payload = run_bench(
+            quick=args.quick, seed=args.seed,
+            width=args.width, height=args.height, scenarios=names,
+        )
+    except RuntimeError as exc:
+        raise SystemExit(str(exc)) from None
+
+    status = 0
+    failures: list = []
+    if args.check is not None:
+        baseline = _latest_baseline(_load_trajectory(args.check))
+        if baseline is None:
+            print(
+                f"[bench] no baseline with speedups in {args.check}; "
+                "nothing to check against",
+                file=sys.stderr,
+            )
+        else:
+            failures = check_regression(payload, baseline, args.threshold)
+            for failure in failures:
+                print(f"[bench] REGRESSION {failure}", file=sys.stderr)
+            if failures:
+                status = 1
+            else:
+                print(
+                    f"[bench] speedups within {args.threshold:.0%} of baseline "
+                    f"{baseline.get('label', '(unlabelled)')}",
+                    file=sys.stderr,
+                )
+
+    if args.output is not None:
+        trajectory = _load_trajectory(args.output)
+        entry = dict(payload)
+        if args.label:
+            entry["label"] = args.label
+        trajectory["entries"].append(entry)
+        with open(args.output, "w") as handle:
+            json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"[bench] appended entry #{len(trajectory['entries'])} to {args.output}",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        print(json.dumps({"result": payload, "regressions": failures}, indent=2))
+    else:
+        print(format_report(payload))
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -450,6 +626,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -40,9 +40,12 @@ class AckKind:
     NACK = "nack"
 
 
-@dataclass(frozen=True)
 class AckMessage:
     """A sideband acknowledgement for one transmitted flit.
+
+    Hand-written slotted value class (dataclass ``slots=True`` needs
+    Python 3.10, and one of these is allocated per protected flit, so it
+    sits on the hot path).
 
     Attributes
     ----------
@@ -55,13 +58,37 @@ class AckMessage:
         Cycle the receiver generated the message (for latency accounting).
     """
 
-    seq: int
-    kind: str
-    created_at: int = 0
+    __slots__ = ("seq", "kind", "created_at")
+
+    def __init__(self, seq: int, kind: str, created_at: int = 0) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.created_at = created_at
 
     @property
     def is_nack(self) -> bool:
         return self.kind == AckKind.NACK
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AckMessage):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.kind == other.kind
+            and self.created_at == other.created_at
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.kind, self.created_at))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AckMessage(seq={self.seq}, kind={self.kind!r}, created_at={self.created_at})"
+
+    def __getstate__(self):
+        return (self.seq, self.kind, self.created_at)
+
+    def __setstate__(self, state) -> None:
+        self.seq, self.kind, self.created_at = state
 
 
 class RetransmissionBuffer(Generic[T]):
@@ -78,6 +105,15 @@ class RetransmissionBuffer(Generic[T]):
     by :meth:`push`.  Iteration order is insertion (i.e. transmission)
     order, which the router relies on when draining retransmissions.
     """
+
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "_next_seq",
+        "total_pushed",
+        "total_acked",
+        "total_nacked",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -124,6 +160,15 @@ class RetransmissionBuffer(Generic[T]):
         self._entries[seq] = item
         self.total_pushed += 1
         return seq
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`push` will assign.
+
+        Lets the sender construct the stored copy already carrying its
+        own sequence number instead of pushing and rewriting it.
+        """
+        return self._next_seq
 
     def ack(self, seq: int) -> T:
         """Positive acknowledgement: release and return the stored copy."""

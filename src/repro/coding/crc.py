@@ -25,6 +25,7 @@ False
 
 from __future__ import annotations
 
+import binascii
 from dataclasses import dataclass, field
 from typing import List
 
@@ -127,13 +128,19 @@ class CRC:
             raise ValueError(f"payload does not fit in {payload_bits} bits")
 
         n_bytes = (payload_bits + 7) // 8
+        if self.poly == CRC16_CCITT_POLY and self.width == 16:
+            # binascii.crc_hqx is this exact CRC (0x1021, MSB-first, no
+            # reflection, no final xor) in C — bit-identical results.
+            return binascii.crc_hqx(payload.to_bytes(n_bytes, "big"), self.init)
         register = self.init
         mask = (1 << self.width) - 1
         shift = self.width - 8
-        for i in range(n_bytes - 1, -1, -1):
-            byte = (payload >> (8 * i)) & 0xFF
-            index = ((register >> shift) ^ byte) & 0xFF
-            register = ((register << 8) ^ self._table[index]) & mask
+        table = self._table
+        # to_bytes + byte iteration keeps every shift on the small
+        # register instead of repeatedly shifting the multi-word payload
+        # integer — measurably faster for wide flit payloads.
+        for byte in payload.to_bytes(n_bytes, "big"):
+            register = ((register << 8) ^ table[((register >> shift) ^ byte) & 0xFF]) & mask
         return register
 
     def verify(self, payload: int, payload_bits: int, check: int) -> bool:

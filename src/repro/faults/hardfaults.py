@@ -272,6 +272,20 @@ class HardFaultModel:
             event = self._pending.pop(0)
             self._apply(event, now)
 
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle at which :meth:`tick` has any work to do.
+
+        Lets the network's idle fast-forward jump over quiescent spans
+        without skipping a scheduled kill or a burst expiry.  ``None``
+        means the campaign is fully applied and no burst is active.
+        """
+        candidates = []
+        if self._burst_until is not None:
+            candidates.append(self._burst_until)
+        if self._pending:
+            candidates.append(self._pending[0].cycle)
+        return min(candidates) if candidates else None
+
     def _apply(self, event: HardFaultEvent, now: int) -> None:
         if self.first_fault_cycle is None:
             self.first_fault_cycle = now

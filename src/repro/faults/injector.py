@@ -79,12 +79,14 @@ class FaultInjector:
                         stacklevel=2,
                     )
                 self.saturation_events += 1
-            model.event_probability = min(1.0, raw)
             # p_relaxed can exceed p in pathological corners of the VARIUS
             # fit; the relax factor is a probability multiplier and must
             # stay inside [0, 1].
             ratio = (p_relaxed / p) if p > 0.0 else 0.0
-            model.relax_factor = min(1.0, max(0.0, ratio))
+            # Routed through the model's setters so an unchanged epoch
+            # keeps the skip-sampling countdowns (geometric gaps are
+            # memoryless — no resample, no RNG draw, no extra work).
+            model.set_probabilities(min(1.0, raw), min(1.0, max(0.0, ratio)))
             self.current[(src, _port)] = model.event_probability
 
     def set_uniform(self, probability: float, relax_factor: float = 0.0) -> None:

@@ -45,7 +45,9 @@ class VirtualChannel:
 
     __slots__ = (
         "port",
+        "port_index",
         "vc_id",
+        "line",
         "depth",
         "fifo",
         "state",
@@ -56,11 +58,16 @@ class VirtualChannel:
         "sent",
     )
 
-    def __init__(self, port: Port, vc_id: int, depth: int) -> None:
+    def __init__(self, port: Port, vc_id: int, depth: int, num_vcs: int = 0) -> None:
         if depth <= 0:
             raise ValueError("VC depth must be positive")
         self.port = port
+        #: ``int(port)`` cached — enum conversion is measurable in the
+        #: per-cycle allocation stages
+        self.port_index = int(port)
         self.vc_id = vc_id
+        #: flat arbiter request-line index (stable for this VC's lifetime)
+        self.line = self.port_index * num_vcs + vc_id
         self.depth = depth
         self.fifo: Deque[Flit] = deque()
         self.state = VCState.IDLE
@@ -94,7 +101,7 @@ class VirtualChannel:
 
     def push(self, flit: Flit) -> None:
         """Buffer write (BW stage).  Overflow is a flow-control bug."""
-        if self.is_full:
+        if len(self.fifo) >= self.depth:
             raise OverflowError(
                 f"VC overflow at port {self.port.name} vc {self.vc_id}: "
                 "credit protocol violated"
@@ -133,7 +140,7 @@ class InputPort:
             raise ValueError("need at least one VC")
         self.port = port
         self.vcs: List[VirtualChannel] = [
-            VirtualChannel(port, v, depth) for v in range(num_vcs)
+            VirtualChannel(port, v, depth, num_vcs) for v in range(num_vcs)
         ]
 
     @property

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.coding.crc import CRC
 from repro.noc.packet import Flit, Packet
@@ -79,6 +79,30 @@ class NetworkInterface:
         self._rx_count: Dict[int, int] = {}
         #: peer lookup installed by the Network (node id -> NI)
         self.peer: Callable[[int], "NetworkInterface"] = _no_peer
+        #: Network-owned active sets (None outside a Network); an NI is
+        #: registered for injection while it holds source-side work and
+        #: for ejection while router-ejected flits await processing
+        self._act_inject: Optional[Set[int]] = None
+        self._act_eject: Optional[Set[int]] = None
+
+    def bind_activity(self, inject: Set[int], eject: Set[int]) -> None:
+        """Attach this NI to its Network's active-NI sets."""
+        self._act_inject = inject
+        self._act_eject = eject
+
+    @property
+    def needs_inject(self) -> bool:
+        """Whether :meth:`step_inject` has (or may have) work to do."""
+        return bool(self._retx_due or self._inject_queue or self._current is not None)
+
+    @property
+    def needs_eject(self) -> bool:
+        """Whether :meth:`step_eject` has queued flits to consume."""
+        return bool(self._eject_queue)
+
+    def _wake_inject(self) -> None:
+        if self._act_inject is not None:
+            self._act_inject.add(self.id)
 
     # ------------------------------------------------------------------
     # Source side
@@ -99,7 +123,9 @@ class NetworkInterface:
             )
             self.router.epoch.crc_ops += packet.size
         self._store[packet.message_id] = packet
+        self.stats.outstanding_messages += 1
         self._inject_queue.append(packet)
+        self._wake_inject()
 
     def schedule_retransmission(self, message_id: int, due_cycle: int) -> None:
         """Destination asked for a fresh copy of ``message_id``."""
@@ -108,10 +134,12 @@ class NetworkInterface:
             self.drop_message(message_id)
             return
         heapq.heappush(self._retx_due, (due_cycle, message_id))
+        self._wake_inject()
 
     def release(self, message_id: int) -> None:
         """Delivery confirmed: drop the stored copy."""
-        self._store.pop(message_id, None)
+        if self._store.pop(message_id, None) is not None:
+            self.stats.outstanding_messages -= 1
 
     def drop_message(self, message_id: int) -> bool:
         """Abandon a message for good (unreachable or dead endpoint).
@@ -122,6 +150,7 @@ class NetworkInterface:
         """
         if self._store.pop(message_id, None) is None:
             return False
+        self.stats.outstanding_messages -= 1
         self.stats.messages_dropped += 1
         return True
 
@@ -204,6 +233,8 @@ class NetworkInterface:
     # ------------------------------------------------------------------
     def _eject(self, flit: Flit, deliver_at: int) -> None:
         self._eject_queue.append((deliver_at, flit))
+        if self._act_eject is not None:
+            self._act_eject.add(self.id)
 
     def step_eject(self, now: int) -> None:
         """Consume ejected flits; finish packets on their tail flit."""

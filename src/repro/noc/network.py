@@ -24,8 +24,9 @@ the earliest one cycle later.
 
 from __future__ import annotations
 
+import os
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.coding.crc import CRC
 from repro.core.modes import OperationMode
@@ -39,10 +40,91 @@ from repro.noc.stats import NetworkStats
 from repro.noc.topology import OPPOSITE_PORT, MeshTopology, Port
 from repro.noc.watchdog import NetworkWatchdog, UnreachableDestinationError
 
-__all__ = ["Network"]
+__all__ = ["Network", "resolve_kernel"]
 
 #: Directed links a router terminates (LOCAL has no channel).
 _LINK_PORTS = (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH)
+
+#: Environment switch selecting the reference full-scan kernel.
+NAIVE_KERNEL_ENV = "REPRO_NAIVE_KERNEL"
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Resolve a cycle-kernel name, honouring ``REPRO_NAIVE_KERNEL``.
+
+    ``None`` defers to the environment (any value other than empty/``0``
+    selects the naive reference kernel); explicit names win over it.
+    The choice is deliberately *not* part of ``SimulationConfig`` — both
+    kernels are bit-identical, so cache keys must not depend on it.
+    """
+    if kernel is None:
+        flag = os.environ.get(NAIVE_KERNEL_ENV, "").strip()
+        return "naive" if flag not in ("", "0") else "fast"
+    if kernel not in ("fast", "naive"):
+        raise ValueError(f"unknown cycle kernel {kernel!r} (expected 'fast' or 'naive')")
+    return kernel
+
+
+class _ActivityState:
+    """Active-entity registries driving the O(active) cycle kernel.
+
+    Channels, routers, and NIs register themselves (by creation index /
+    id) when an event gives them work; the kernel deregisters them
+    lazily once their work is gone.  Registration is therefore always a
+    *superset* of the truly-active entities, which makes the sets safe
+    across kernel switches and checkpoint resume — a stale registration
+    costs one no-op visit, never a missed event.
+
+    The ``*_visits`` counters record how many entity-steps each phase
+    actually executed (the naive kernel counts its full sweeps), and
+    ``fast_forwarded`` counts cycles skipped wholesale by
+    :meth:`Network.run`'s idle early-out; ``repro run --profile``
+    surfaces both.
+    """
+
+    __slots__ = (
+        "channels",
+        "routers",
+        "ni_eject",
+        "ni_inject",
+        "channel_visits",
+        "router_visits",
+        "ni_eject_visits",
+        "ni_inject_visits",
+        "fast_forwarded",
+    )
+
+    def __init__(self) -> None:
+        self.channels: Set[int] = set()
+        self.routers: Set[int] = set()
+        self.ni_eject: Set[int] = set()
+        self.ni_inject: Set[int] = set()
+        self.channel_visits = 0
+        self.router_visits = 0
+        self.ni_eject_visits = 0
+        self.ni_inject_visits = 0
+        self.fast_forwarded = 0
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.channels or self.routers or self.ni_eject or self.ni_inject)
+
+    def counters(self) -> Dict[str, int]:
+        """Per-stage activity counters for the profiling report."""
+        return {
+            "channel_visits": self.channel_visits,
+            "router_visits": self.router_visits,
+            "ni_eject_visits": self.ni_eject_visits,
+            "ni_inject_visits": self.ni_inject_visits,
+            "fast_forwarded_cycles": self.fast_forwarded,
+        }
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
 
 
 class Network:
@@ -66,6 +148,7 @@ class Network:
         deadlock_cycles: int = 4096,
         max_packet_age: int = 500_000,
         unreachable_action: str = "drop",
+        kernel: Optional[str] = None,
     ) -> None:
         if unreachable_action not in ("drop", "raise"):
             raise ValueError("unreachable_action must be 'drop' or 'raise'")
@@ -75,6 +158,11 @@ class Network:
         self.stats = NetworkStats()
         self.now = 0
         self.unreachable_action = unreachable_action
+        #: "fast" (activity-driven) or "naive" (reference full scan)
+        self.kernel = resolve_kernel(kernel)
+        #: active-entity registries; hooks in channels/routers/NIs keep
+        #: them current regardless of which kernel consumes them
+        self.activity = _ActivityState()
 
         #: live hard-fault topology shared by routers and routing functions
         self.fault_state = FaultState(topology)
@@ -109,16 +197,39 @@ class Network:
 
         #: channels keyed by (source router, source port)
         self.channels: Dict[Tuple[int, int], Channel] = {}
-        for spec in topology.channels():
+        #: per-channel delivery tuples in creation-index order, split by
+        #: kernel phase so each phase unpacks exactly what it touches:
+        #: sideband = (channel, src router, src port int), data =
+        #: (channel, dst router, dst port int).  The fast kernel iterates
+        #: active indices *sorted*, which equals the naive kernel's
+        #: dict-insertion-order scan — that keeps the shared error RNG
+        #: consumed in an identical order.
+        self._meta_sideband: List[Tuple[Channel, Router, int]] = []
+        self._meta_data: List[Tuple[Channel, Router, int]] = []
+        for index, spec in enumerate(topology.channels()):
             model = ChannelErrorModel(
                 self.rng, flit_bits, 0.0, error_severity, relax_factor
             )
             channel = Channel(spec, channel_latency, model)
+            channel.bind_activity(index, self.activity.channels)
             self.channels[(spec.src, spec.src_port)] = channel
+            self._meta_sideband.append(
+                (channel, self.routers[spec.src], int(spec.src_port))
+            )
+            self._meta_data.append(
+                (channel, self.routers[spec.dst], int(spec.dst_port))
+            )
             self.routers[spec.src].outputs[int(spec.src_port)] = OutputLink(
                 spec.src_port, channel, num_vcs, vc_depth, arq_capacity
             )
             self.routers[spec.dst].in_channels[int(spec.dst_port)] = channel
+        for router in self.routers:
+            router.bind_activity(self.activity.routers)
+        #: precomputed sorted index lists — the fast kernel substitutes
+        #: these for ``sorted(active_set)`` when every entity is active
+        #: (the saturation steady state), skipping the per-cycle sort
+        self._all_channels = list(range(len(self._meta_data)))
+        self._all_nodes = list(range(topology.num_nodes))
 
         crc = crc if crc is not None else CRC.crc16()
         self.interfaces: List[NetworkInterface] = [
@@ -130,6 +241,7 @@ class Network:
         for ni in self.interfaces:
             ni.peer = self._peer_lookup
             ni._router_lookup = self._router_lookup
+            ni.bind_activity(self.activity.ni_inject, self.activity.ni_eject)
 
     def _peer_lookup(self, node: int) -> NetworkInterface:
         return self.interfaces[node]
@@ -164,29 +276,10 @@ class Network:
         if self.hard_faults is not None:
             self.hard_faults.tick(now)
 
-        for (src, src_port), channel in self.channels.items():
-            if channel._credits or channel._acks:
-                sender = self.routers[src]
-                for vc in channel.pop_credits(now):
-                    sender.receive_credit(int(src_port), vc)
-                for message in channel.pop_acks(now):
-                    sender.receive_ack(int(src_port), message)
-
-        for channel in self.channels.values():
-            if channel._data:
-                arrivals = channel.pop_arrivals(now)
-                if arrivals:
-                    self.routers[channel.spec.dst].receive_transmissions(
-                        int(channel.spec.dst_port), arrivals, now
-                    )
-
-        for ni in self.interfaces:
-            ni.step_eject(now)
-        for ni in self.interfaces:
-            ni.step_inject(now)
-
-        for router in self.routers:
-            router.step(now)
+        if self.kernel == "naive":
+            self._cycle_naive(now)
+        else:
+            self._cycle_fast(now)
 
         self.now = now + 1
         self.stats.cycles += 1
@@ -194,9 +287,190 @@ class Network:
         if watchdog is not None and self.now % watchdog.interval == 0:
             watchdog.check(self.now)
 
+    def _cycle_naive(self, now: int) -> None:
+        """Reference kernel: full sweep of every entity, every cycle.
+
+        Kept verbatim (modulo the public ``has_pending_*`` accessors) as
+        the golden-equivalence baseline and the bench's "before" side.
+        """
+        act = self.activity
+        act.channel_visits += len(self.channels)
+        for (src, src_port), channel in self.channels.items():
+            if channel.has_pending_credits or channel.has_pending_acks:
+                sender = self.routers[src]
+                for vc in channel.pop_credits(now):
+                    sender.receive_credit(int(src_port), vc)
+                for message in channel.pop_acks(now):
+                    sender.receive_ack(int(src_port), message)
+
+        for channel in self.channels.values():
+            if channel.has_pending_data:
+                arrivals = channel.pop_arrivals(now)
+                if arrivals:
+                    self.routers[channel.spec.dst].receive_transmissions(
+                        int(channel.spec.dst_port), arrivals, now
+                    )
+
+        act.ni_eject_visits += len(self.interfaces)
+        for ni in self.interfaces:
+            ni.step_eject(now)
+        act.ni_inject_visits += len(self.interfaces)
+        for ni in self.interfaces:
+            ni.step_inject(now)
+
+        act.router_visits += len(self.routers)
+        for router in self.routers:
+            router.step(now)
+
+    def _cycle_fast(self, now: int) -> None:
+        """Activity-driven kernel: O(active) work per cycle.
+
+        Phase order and per-phase iteration order match the naive scan
+        exactly (sorted registration indices == dict insertion order),
+        so both kernels consume the shared error RNG identically.  Each
+        phase snapshots its registry just before running, so work created
+        by an earlier phase in the same cycle is picked up exactly when
+        the naive sweep would have; deregistration is lazy, after an
+        entity's step confirms it has nothing left.
+
+        The activity predicates (``Channel.busy``, ``has_pending_*``,
+        ``NetworkInterface.needs_*``, ``Router.needs_step``) are inlined
+        here as direct slot reads — at saturation the descriptor-call
+        overhead of the property forms is a measurable slice of the
+        cycle.  Each inline must mirror its property exactly.
+        """
+        act = self.activity
+
+        if act.channels:
+            # Phase 1 never enqueues sideband/data, so one snapshot
+            # safely serves both channel phases.
+            if len(act.channels) == len(self._all_channels):
+                snapshot = self._all_channels
+            else:
+                snapshot = sorted(act.channels)
+            act.channel_visits += len(snapshot)
+            sideband = self._meta_sideband
+            for index in snapshot:
+                channel, sender, src_port = sideband[index]
+                if channel._credits or channel._acks:
+                    for vc in channel.pop_credits(now):
+                        sender.receive_credit(src_port, vc)
+                    for message in channel.pop_acks(now):
+                        sender.receive_ack(src_port, message)
+
+            active_channels = act.channels
+            data = self._meta_data
+            for index in snapshot:
+                channel, receiver, dst_port = data[index]
+                if channel._data:
+                    arrivals = channel.pop_arrivals(now)
+                    if arrivals:
+                        # May push sideband back onto this same channel
+                        # (ACK/NACK/credit) — re-read below (`busy`).
+                        receiver.receive_transmissions(dst_port, arrivals, now)
+                if not (channel._data or channel._acks or channel._credits):
+                    active_channels.discard(index)
+
+        if act.ni_eject:
+            interfaces = self.interfaces
+            active_eject = act.ni_eject
+            if len(active_eject) == len(self._all_nodes):
+                snapshot = self._all_nodes
+            else:
+                snapshot = sorted(active_eject)
+            act.ni_eject_visits += len(snapshot)
+            for nid in snapshot:
+                ni = interfaces[nid]
+                ni.step_eject(now)
+                if not ni._eject_queue:  # needs_eject
+                    active_eject.discard(nid)
+
+        if act.ni_inject:
+            interfaces = self.interfaces
+            active_inject = act.ni_inject
+            if len(active_inject) == len(self._all_nodes):
+                snapshot = self._all_nodes
+            else:
+                snapshot = sorted(active_inject)
+            act.ni_inject_visits += len(snapshot)
+            for nid in snapshot:
+                ni = interfaces[nid]
+                ni.step_inject(now)
+                if not (  # needs_inject
+                    ni._retx_due or ni._inject_queue or ni._current is not None
+                ):
+                    active_inject.discard(nid)
+
+        if act.routers:
+            routers = self.routers
+            active_routers = act.routers
+            if len(active_routers) == len(self._all_nodes):
+                snapshot = self._all_nodes
+            else:
+                snapshot = sorted(active_routers)
+            act.router_visits += len(snapshot)
+            for rid in snapshot:
+                router = routers[rid]
+                router.step(now)
+                if not (  # needs_step
+                    router._routing
+                    or router._waiting
+                    or router._active
+                    or router._draining
+                    or router._retx_ports
+                    or router._pending_mode is not None
+                ):
+                    active_routers.discard(rid)
+
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
-            self.cycle()
+        """Advance ``cycles`` cycles, fast-forwarding fully idle spans.
+
+        With the fast kernel, a span where every active set is empty
+        cannot change any entity state — every phase of :meth:`cycle`
+        would be a no-op — so only the clocks, the watchdog polls, and
+        the hard-fault schedule observe those cycles.  The early-out
+        advances the clocks in bulk, still runs the *real* watchdog
+        check at every interval boundary (identical state, identical
+        verdicts — including raising on a wedged network), and never
+        jumps past the next scheduled hard-fault event.
+        """
+        end = self.now + cycles
+        if self.kernel == "naive":
+            while self.now < end:
+                self.cycle()
+            return
+        act = self.activity
+        while self.now < end:
+            if act.any_active:
+                self.cycle()
+                continue
+            target = end
+            if self.hard_faults is not None:
+                next_fault = self.hard_faults.next_event_cycle()
+                if next_fault is not None and next_fault < target:
+                    target = next_fault
+            if target <= self.now:
+                self.cycle()
+                continue
+            self._fast_forward(target)
+
+    def _fast_forward(self, target: int) -> None:
+        """Jump the clocks to ``target``, honouring watchdog cadence."""
+        act = self.activity
+        stats = self.stats
+        watchdog = self.watchdog
+        while self.now < target:
+            if watchdog is None:
+                stop = target
+            else:
+                interval = watchdog.interval
+                next_check = (self.now // interval + 1) * interval
+                stop = min(target, next_check)
+            act.fast_forwarded += stop - self.now
+            stats.cycles += stop - self.now
+            self.now = stop
+            if watchdog is not None and self.now % watchdog.interval == 0:
+                watchdog.check(self.now)
 
     # ------------------------------------------------------------------
     # Hard faults
@@ -297,7 +571,7 @@ class Network:
         # accepted is a flit that will never cross.
         link = sender.outputs[int(port)]
         link.alive = False
-        expected = receiver.expected_seq.get(dst_port, 0)
+        expected = receiver.expected_seq[dst_port]
         for seq, t in link.arq:
             if seq >= expected:
                 mark(t.flit.packet)
@@ -348,8 +622,17 @@ class Network:
     # ------------------------------------------------------------------
     @property
     def quiescent(self) -> bool:
-        """No outstanding messages anywhere (trace fully delivered)."""
-        return all(ni.outstanding_messages == 0 for ni in self.interfaces)
+        """No outstanding messages anywhere (trace fully delivered).
+
+        O(1): reads the incrementally-maintained counter instead of
+        scanning every NI — drain loops poll this every cycle.  The
+        watchdog cross-checks the counter against the scan.
+        """
+        return self.stats.outstanding_messages == 0
+
+    def scan_outstanding(self) -> int:
+        """Ground-truth outstanding-message count (full NI scan)."""
+        return sum(ni.outstanding_messages for ni in self.interfaces)
 
     def harvest_epoch_counters(self, epoch_cycles: int) -> None:
         """Fold per-router epoch counters into the run statistics and
@@ -384,7 +667,7 @@ class Network:
         start = self.now
         while not self.quiescent:
             if self.now - start >= max_cycles:
-                outstanding = sum(ni.outstanding_messages for ni in self.interfaces)
+                outstanding = self.scan_outstanding()
                 raise RuntimeError(
                     f"network failed to drain: {outstanding} messages "
                     f"outstanding after {max_cycles} cycles"

@@ -69,6 +69,8 @@ class Flit:
         "hops",
         "injected_at",
         "ghost",
+        "is_head",
+        "is_tail",
     )
 
     def __init__(
@@ -81,6 +83,11 @@ class Flit:
         self.packet = packet
         self.index = index
         self.ftype = ftype
+        #: head/tail classification cached as plain attributes — these
+        #: are read in every pipeline stage, and enum-property chains
+        #: showed up in the cycle-kernel profile
+        self.is_head = ftype.is_head
+        self.is_tail = ftype.is_tail
         self.payload = payload
         self.error_mask = 0
         self.vc: Optional[int] = None
@@ -92,14 +99,6 @@ class Flit:
         self.ghost = False
 
     # ------------------------------------------------------------------
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
-
     @property
     def received_payload(self) -> int:
         """The payload as the receiver sees it (errors applied)."""

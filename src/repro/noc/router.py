@@ -33,7 +33,7 @@ routers nearly free.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.coding.arq import AckKind, AckMessage, RetransmissionBuffer
 from repro.core.modes import MODE_BEHAVIOUR, ModeBehaviour, OperationMode
@@ -53,6 +53,12 @@ ECC_PIPELINE_CYCLES = 1
 
 _NUM_PORTS = len(Port)
 _LOCAL = int(Port.LOCAL)
+#: rotating output-port scan orders for SA, indexed by ``now % N`` —
+#: precomputed so the hot loop does no per-step modular arithmetic
+_PORT_ORDERS = tuple(
+    tuple((start + k) % _NUM_PORTS for k in range(_NUM_PORTS))
+    for start in range(_NUM_PORTS)
+)
 
 
 class OutputLink:
@@ -122,7 +128,7 @@ class Router:
         #: channels arriving here, for returning ACKs/credits (by input port)
         self.in_channels: Dict[int, Channel] = {}
         #: receiver-side next expected ARQ sequence number per input port
-        self.expected_seq: Dict[int, int] = {}
+        self.expected_seq: List[int] = [0] * _NUM_PORTS
         #: ejection callback ``(flit, deliver_at)`` installed by the Network
         self.ejection_sink: Optional[Callable[[Flit, int], None]] = None
 
@@ -149,6 +155,38 @@ class Router:
         #: local temperature in degrees C, refreshed by the thermal model
         self.temperature = 50.0
 
+        #: Network-owned set of router ids whose ``step`` must run; None
+        #: for standalone routers (unit tests).  Events that create
+        #: pipeline work re-register the router here; the cycle kernel
+        #: deregisters lazily once :attr:`needs_step` goes False.
+        self._active_set: Optional[Set[int]] = None
+
+    def bind_activity(self, active: Set[int]) -> None:
+        """Attach this router to its Network's active-router set."""
+        self._active_set = active
+
+    def _wake(self) -> None:
+        if self._active_set is not None:
+            self._active_set.add(self.id)
+
+    @property
+    def needs_step(self) -> bool:
+        """Whether :meth:`step` would do any work this cycle.
+
+        Mirrors the guards inside :meth:`step`: pipeline stages, the
+        go-back-N rewind queue, fault drains, and a deferred mode switch.
+        A non-empty ARQ window alone does *not* require stepping — its
+        entries are released by sideband ACKs, not by the pipeline.
+        """
+        return bool(
+            self._routing
+            or self._waiting
+            or self._active
+            or self._draining
+            or self._retx_ports
+            or self._pending_mode is not None
+        )
+
     # ------------------------------------------------------------------
     # Mode control
     # ------------------------------------------------------------------
@@ -165,6 +203,7 @@ class Router:
         needs_drain = self.behaviour.ecc_enabled and not MODE_BEHAVIOUR[mode].ecc_enabled
         if needs_drain and not self._arq_quiescent():
             self._pending_mode = mode
+            self._wake()  # step() applies the switch once the ARQ drains
             return
         self._apply_mode(mode)
 
@@ -199,8 +238,13 @@ class Router:
             link.pending_retx = deque(seq for seq, _ in link.arq if seq >= message.seq)
             if link.pending_retx and port not in self._retx_ports:
                 self._retx_ports.append(port)
+                self._wake()
         else:
             self.epoch.acks_in[port] += 1
+            if self._pending_mode is not None:
+                # This ACK may be the one that drains the window and
+                # unblocks the deferred mode switch in step().
+                self._wake()
             if link.arq.peek(message.seq) is not None:
                 item = link.arq.ack(message.seq)
                 self.epoch.arq_buffer_ops += 1
@@ -217,19 +261,21 @@ class Router:
     def receive_transmissions(self, port: int, arrivals: List[Transmission], now: int) -> None:
         channel = self.in_channels[port]
         epoch = self.epoch
+        error_model = channel.error_model
+        flits_in = epoch.flits_in
         for t in arrivals:
-            epoch.flits_in[port] += 1
-            errors = channel.error_model.sample_error_bits(t.relaxed)
+            flits_in[port] += 1
+            errors = error_model.sample_error_bits(t.relaxed)
             if not t.protected:
                 if errors:
-                    t.flit.error_mask ^= channel.error_model.sample_mask(errors)
+                    t.flit.error_mask ^= error_model.sample_mask(errors)
                     epoch.escaped_errors += 1
                 self._accept(port, t, now)
                 continue
 
             # Protected arrival: the -Link decoder runs on every transfer.
             epoch.ecc_decodes += 1
-            expected = self.expected_seq.get(port, 0)
+            expected = self.expected_seq[port]
             if t.seq != expected:
                 # Out-of-order under go-back-N (already-accepted duplicate
                 # or a rewound resend of an accepted flit): drop silently.
@@ -263,7 +309,7 @@ class Router:
             else:
                 # Beyond SECDED: mis-correction corrupts the payload and
                 # escapes to the destination CRC.
-                t.flit.error_mask ^= channel.error_model.sample_mask(errors)
+                t.flit.error_mask ^= error_model.sample_mask(errors)
                 epoch.escaped_errors += 1
                 self._ack(channel, port, t, now)
                 self._accept(port, t, now)
@@ -289,6 +335,7 @@ class Router:
             vc.current_packet = flit.packet
             vc.stage_ready_cycle = now + 1
             self._routing[vc] = None
+            self._wake()
 
     # ------------------------------------------------------------------
     # Injection from the local network interface
@@ -304,6 +351,7 @@ class Router:
         vc.current_packet = flit.packet
         vc.stage_ready_cycle = now + 1
         self._routing[vc] = None
+        self._wake()
         self.epoch.buffer_writes += 1
         self.epoch.flits_in[_LOCAL] += 1
         return vc.vc_id
@@ -386,42 +434,77 @@ class Router:
 
     # -- SA + ST ---------------------------------------------------------
     def _stage_switch_allocation(self, now: int, used_output: Optional[List[bool]]) -> None:
-        num_vcs = self.num_vcs
-        by_port: Dict[int, Dict[int, VirtualChannel]] = {}
+        outputs = self.outputs
+        ecc = self.behaviour.ecc_enabled
+        by_port: Dict[int, List[VirtualChannel]] = {}
         for vc in self._active:
             if vc.fifo and vc.stage_ready_cycle <= now:
                 out_port = vc.out_port
                 if used_output is not None and used_output[out_port]:
                     continue
-                if not self._sa_resources_free(out_port, vc):
-                    continue
-                line = int(vc.port) * num_vcs + vc.vc_id
-                by_port.setdefault(out_port, {})[line] = vc
+                # Inlined _sa_resources_free (hottest loop in the router).
+                if out_port != _LOCAL:
+                    link = outputs[out_port]
+                    if link.credits[vc.out_vc] <= 0:
+                        continue
+                    if ecc and link.arq.is_full:
+                        continue
+                candidates = by_port.get(out_port)
+                if candidates is None:
+                    by_port[out_port] = [vc]
+                else:
+                    candidates.append(vc)
         if not by_port:
             return
+        arbiters = self._sa_arbiters
+        epoch = self.epoch
+        if len(by_port) == 1:
+            # Common case: every ready VC wants the same output port.
+            # One grant happens, so the input-port exclusion mask and the
+            # rotating output-port order cannot change the outcome.
+            out_port, candidates = by_port.popitem()
+            if out_port != _LOCAL and outputs[out_port].free_at > now:
+                return
+            epoch.arbitration_ops += 1
+            if len(candidates) == 1:
+                vc = candidates[0]
+                arbiters[out_port].take(vc.line)
+                self._traverse(vc, out_port, now)
+                return
+            line = arbiters[out_port].grant_from([vc.line for vc in candidates])
+            for vc in candidates:
+                if vc.line == line:
+                    self._traverse(vc, out_port, now)
+                    return
+            return
         used_input = [False] * _NUM_PORTS
-        start = now % _NUM_PORTS
-        for k in range(_NUM_PORTS):
-            out_port = (start + k) % _NUM_PORTS
+        for out_port in _PORT_ORDERS[now % _NUM_PORTS]:
             candidates = by_port.get(out_port)
             if not candidates:
                 continue
-            if out_port != _LOCAL and self.outputs[out_port].free_at > now:
+            if out_port != _LOCAL and outputs[out_port].free_at > now:
                 continue
-            requests = [False] * (_NUM_PORTS * num_vcs)
-            any_request = False
-            for line in candidates:
-                if not used_input[line // num_vcs]:
-                    requests[line] = True
-                    any_request = True
-            if not any_request:
+            if len(candidates) == 1:
+                vc = candidates[0]
+                if used_input[vc.port_index]:
+                    continue
+                epoch.arbitration_ops += 1
+                arbiters[out_port].take(vc.line)
+                used_input[vc.port_index] = True
+                self._traverse(vc, out_port, now)
                 continue
-            self.epoch.arbitration_ops += 1
-            line = self._sa_arbiters[out_port].grant(requests)
+            eligible = [vc.line for vc in candidates if not used_input[vc.port_index]]
+            if not eligible:
+                continue
+            epoch.arbitration_ops += 1
+            line = arbiters[out_port].grant_from(eligible)
             if line is None:
                 continue
-            used_input[line // num_vcs] = True
-            self._traverse(candidates[line], out_port, now)
+            for vc in candidates:
+                if vc.line == line:
+                    used_input[vc.port_index] = True
+                    self._traverse(vc, out_port, now)
+                    break
 
     def _sa_resources_free(self, out_port: int, vc: VirtualChannel) -> bool:
         if out_port == _LOCAL:
@@ -436,13 +519,14 @@ class Router:
     def _traverse(self, vc: VirtualChannel, out_port: int, now: int) -> None:
         flit = vc.pop()
         vc.sent += 1
-        self.epoch.buffer_reads += 1
-        self.epoch.crossbar_traversals += 1
-        self.epoch.flits_out[out_port] += 1
-        if vc.port != Port.LOCAL:
+        epoch = self.epoch
+        epoch.buffer_reads += 1
+        epoch.crossbar_traversals += 1
+        epoch.flits_out[out_port] += 1
+        if vc.port_index != _LOCAL:
             # The flit freed one slot of this input VC: return the credit
             # to the upstream sender over the channel's sideband wire.
-            self.in_channels[int(vc.port)].send_credit(vc.vc_id, now + 1)
+            self.in_channels[vc.port_index].send_credit(vc.vc_id, now + 1)
 
         if out_port == _LOCAL:
             if self.ejection_sink is None:
@@ -452,17 +536,8 @@ class Router:
             link = self.outputs[out_port]
             behaviour = self.behaviour
             protected = behaviour.ecc_enabled
-            link.credits[vc.out_vc] -= 1
-            seq = None
-            if protected:
-                seq = link.arq.push(
-                    Transmission(flit, None, vc.out_vc, True, False, False, 0)
-                )
-                # Rewrite the stored copy with its own sequence number so
-                # the rewind logic can resend it verbatim.
-                link.arq.peek(seq).seq = seq
-                self.epoch.arq_buffer_ops += 1
-                self.epoch.ecc_encodes += 1
+            out_vc = vc.out_vc
+            link.credits[out_vc] -= 1
             arrive = (
                 now
                 + link.channel.latency
@@ -470,18 +545,36 @@ class Router:
                 + (ECC_PIPELINE_CYCLES if protected else 0)
             )
             duplicated = behaviour.pre_retransmit and protected
-            link.channel.send(
-                Transmission(
+            if protected:
+                # The ARQ window stores the sent transmission itself (its
+                # consumers read only .flit and .vc), so the rewind logic
+                # can resend it without a second allocation per flit.
+                sent = Transmission(
                     flit,
-                    seq,
-                    vc.out_vc,
-                    protected,
+                    link.arq.next_seq,
+                    out_vc,
+                    True,
                     behaviour.timing_relaxed,
                     False,
                     arrive,
                     paired=duplicated,
                 )
-            )
+                seq = link.arq.push(sent)
+                epoch.arq_buffer_ops += 1
+                epoch.ecc_encodes += 1
+            else:
+                seq = None
+                sent = Transmission(
+                    flit,
+                    None,
+                    out_vc,
+                    False,
+                    behaviour.timing_relaxed,
+                    False,
+                    arrive,
+                    paired=duplicated,
+                )
+            link.channel.send(sent)
             link.free_at = now + behaviour.link_slots_per_flit
             if duplicated:
                 # Mode 2: speculative duplicate one cycle behind.
@@ -489,15 +582,15 @@ class Router:
                     Transmission(
                         flit,
                         seq,
-                        vc.out_vc,
+                        out_vc,
                         True,
                         behaviour.timing_relaxed,
                         True,
                         arrive + 1,
                     )
                 )
-                self.epoch.duplicate_flits += 1
-                self.epoch.ecc_encodes += 1
+                epoch.duplicate_flits += 1
+                epoch.ecc_encodes += 1
 
         if flit.is_tail:
             out_vc = vc.out_vc
@@ -526,29 +619,23 @@ class Router:
 
     # -- VA ---------------------------------------------------------------
     def _stage_vc_allocation(self, now: int) -> None:
-        num_vcs = self.num_vcs
         by_port: Dict[int, Dict[int, VirtualChannel]] = {}
         for vc in self._waiting:
             if vc.stage_ready_cycle <= now:
-                line = int(vc.port) * num_vcs + vc.vc_id
-                by_port.setdefault(vc.out_port, {})[line] = vc
+                by_port.setdefault(vc.out_port, {})[vc.line] = vc
         for out_port, candidates in by_port.items():
             free_vcs = self._free_output_vcs(out_port)
             if not free_vcs:
                 continue
-            requests = [False] * (_NUM_PORTS * num_vcs)
-            for line in candidates:
-                requests[line] = True
-            remaining = len(candidates)
+            eligible = list(candidates)
             for out_vc in free_vcs:
-                if remaining == 0:
+                if not eligible:
                     break
                 self.epoch.arbitration_ops += 1
-                line = self._va_arbiters[out_port].grant(requests)
+                line = self._va_arbiters[out_port].grant_from(eligible)
                 if line is None:
                     break
-                requests[line] = False
-                remaining -= 1
+                eligible.remove(line)
                 winner = candidates[line]
                 winner.out_vc = out_vc
                 winner.state = VCState.ACTIVE
@@ -651,6 +738,7 @@ class Router:
         in place, and ``mark`` records the packet as lost so the network
         can decide between source retransmission and a counted drop.
         """
+        self._wake()  # kill sweeps may move VCs back into live stages
         for vc in list(self._waiting):
             if vc.out_port == port:
                 del self._waiting[vc]

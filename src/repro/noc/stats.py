@@ -203,6 +203,7 @@ class NetworkStats:
         "link_kills",
         "router_kills",
         "buffer_ops",
+        "outstanding_messages",
     )
 
     def __init__(self) -> None:
@@ -244,6 +245,12 @@ class NetworkStats:
         #: harvested buffer read/write/retransmission events — the
         #: monotonic activity signal the deadlock watchdog compares
         self.buffer_ops = 0
+        #: live count of messages accepted by source NIs and not yet
+        #: confirmed/abandoned — maintained incrementally so the drain
+        #: loop's quiescence check is O(1) instead of an all-NI scan
+        #: (the watchdog cross-checks it against the scan); deliberately
+        #: not part of :meth:`as_dict` — it is bookkeeping, not a metric
+        self.outstanding_messages = 0
 
     # ------------------------------------------------------------------
     @property

@@ -121,6 +121,21 @@ class NetworkWatchdog:
         stats = network.stats
         outstanding = sum(ni.outstanding_messages for ni in network.interfaces)
 
+        # The O(1) quiescence counter must agree with the ground-truth
+        # NI scan — a divergence means an enqueue/release/drop path
+        # forgot its increment and the drain loop would mis-terminate.
+        if stats.outstanding_messages != outstanding:
+            raise ConservationError(
+                f"outstanding-message counter diverged at cycle {now}: "
+                f"counter {stats.outstanding_messages} != scan {outstanding}",
+                report={
+                    "kind": "outstanding_counter",
+                    "cycle": now,
+                    "counter": stats.outstanding_messages,
+                    "scan": outstanding,
+                },
+            )
+
         expected = stats.messages_created - stats.packets_delivered - stats.messages_dropped
         if expected != outstanding:
             raise ConservationError(

@@ -1,0 +1,298 @@
+"""Kernel throughput benchmarks: activity-driven vs naive cycle kernel.
+
+The PR-4 performance work replaced the full-scan ``Network.cycle`` with
+an activity-driven kernel (iterate only registered-active channels, NIs,
+and routers; fast-forward fully idle spans in ``Network.run``).  This
+module measures what that buys, honestly, on three workload shapes:
+
+``idle``
+    Sparse bursts separated by long silent spans — the common shape of
+    control-epoch simulations (pre-training curricula, warm-up, drain
+    tails).  Dominated by the fast-forward path.
+``saturated``
+    Open-loop uniform traffic at an offered load past the saturation
+    knee, with a bounded outstanding-message cap so the run does not
+    grow without limit.  Dominated by active-set iteration under load.
+``chaos``
+    Moderate uniform load under a hard-fault campaign (link and router
+    kills plus an error burst) with adaptive routing — the stress shape
+    of the graceful-degradation experiments.
+
+Each scenario runs on both kernels from identical seeds; the two runs
+must agree on a stats digest (the bit-identical contract from
+DESIGN.md §11) or the bench itself fails.  Speedups are the ratio of
+measured cycles/second, which makes the *ratio* machine-independent
+enough for a CI smoke check even though the absolute rates are not.
+
+``python -m repro.cli bench`` is the entry point; ``--check`` compares
+against a committed baseline (``BENCH_kernel.json``) and fails on a
+speedup regression beyond the threshold.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "SCENARIOS",
+    "run_scenario",
+    "run_bench",
+    "check_regression",
+    "format_report",
+]
+
+#: scenario name -> cycles at (default, --quick) scale
+SCENARIOS: Dict[str, Tuple[int, int]] = {
+    "idle": (150_000, 40_000),
+    "saturated": (15_000, 4_000),
+    "chaos": (20_000, 6_000),
+}
+
+#: payload schema version for BENCH_kernel.json
+BENCH_VERSION = 1
+
+_PACKET_SIZE = 4
+_FLIT_BITS = 128
+
+
+def _digest(net: Network) -> Dict[str, object]:
+    """Result fingerprint both kernels must agree on (bit-identity)."""
+    stats = net.stats
+    return {
+        "messages_created": stats.messages_created,
+        "packets_delivered": stats.packets_delivered,
+        "messages_dropped": stats.messages_dropped,
+        "retransmission_events": stats.retransmission_events,
+        "corrected_errors": stats.corrected_errors,
+        "mean_latency": stats.mean_latency,
+        "final_cycle": net.now,
+    }
+
+
+def _make_network(
+    kernel: str,
+    seed: int,
+    width: int,
+    height: int,
+    routing: str = "xy",
+    fault_spec: Optional[str] = None,
+    error_probability: float = 0.0,
+    relax_factor: float = 0.0,
+) -> Network:
+    net = Network(
+        MeshTopology(width, height),
+        routing_fn=routing,
+        rng=random.Random(seed + 1),
+        routing_seed=seed,
+        kernel=kernel,
+    )
+    if fault_spec:
+        net.hard_faults = HardFaultModel(net, HardFaultSchedule.parse(fault_spec))
+    if error_probability > 0.0:
+        for _, model in net.channel_models():
+            model.event_probability = error_probability
+            model.relax_factor = relax_factor
+    return net
+
+
+def _inject(net: Network, rng: random.Random, message_id: int) -> int:
+    """Inject one uniform-random packet; returns the next message id."""
+    nodes = net.topology.num_nodes
+    src = rng.randrange(nodes)
+    dst = rng.randrange(nodes)
+    if src == dst:
+        return message_id
+    net.inject(
+        Packet(src, dst, _PACKET_SIZE, _FLIT_BITS, net.now, message_id=message_id)
+    )
+    return message_id + 1
+
+
+def _drain(net: Network, limit: int = 200_000) -> None:
+    deadline = net.now + limit
+    while not net.quiescent and net.now < deadline:
+        net.cycle()
+
+
+def _drive_idle(net: Network, cycles: int, rng: random.Random) -> None:
+    """Short bursts separated by long idle spans (fast-forward food)."""
+    burst_every = 2_000
+    end = net.now + cycles
+    message_id = 0
+    while net.now < end:
+        for _ in range(3):
+            message_id = _inject(net, rng, message_id)
+        net.run(min(burst_every, end - net.now))
+    _drain(net)
+
+
+def _drive_saturated(net: Network, cycles: int, rng: random.Random) -> None:
+    """Offered load past the knee, outstanding-bounded so memory stays flat."""
+    end = net.now + cycles
+    message_id = 0
+    nodes = net.topology.num_nodes
+    cap = 16 * nodes  # enough in flight to keep every column loaded
+    while net.now < end:
+        if net.stats.outstanding_messages < cap:
+            for _ in range(nodes // 4):
+                if rng.random() < 0.5:
+                    message_id = _inject(net, rng, message_id)
+        net.cycle()
+    _drain(net)
+
+
+def _drive_chaos(net: Network, cycles: int, rng: random.Random) -> None:
+    """Moderate load while the fault campaign cuts links and routers."""
+    end = net.now + cycles
+    message_id = 0
+    while net.now < end:
+        if rng.random() < 0.1:
+            message_id = _inject(net, rng, message_id)
+        net.cycle()
+    _drain(net)
+
+
+_DRIVERS: Dict[str, Callable[[Network, int, random.Random], None]] = {
+    "idle": _drive_idle,
+    "saturated": _drive_saturated,
+    "chaos": _drive_chaos,
+}
+
+
+def _scenario_network(name: str, kernel: str, seed: int, width: int, height: int) -> Network:
+    if name == "idle":
+        return _make_network(
+            kernel, seed, width, height, error_probability=0.002, relax_factor=0.5
+        )
+    if name == "saturated":
+        return _make_network(
+            kernel, seed, width, height, error_probability=0.01, relax_factor=0.5
+        )
+    if name == "chaos":
+        # Kill an east link early, a router mid-run, and raise error rates
+        # in a burst window — adaptive routing reroutes around the holes.
+        spec = "link@2000:5E;router@8000:10;burst@4000+2000:0.05"
+        return _make_network(
+            kernel, seed, width, height, routing="adaptive", fault_spec=spec
+        )
+    raise ValueError(f"unknown scenario {name!r}; pick one of {', '.join(SCENARIOS)}")
+
+
+def run_scenario(
+    name: str,
+    kernel: str,
+    cycles: int,
+    seed: int = 0,
+    width: int = 4,
+    height: int = 4,
+) -> Dict[str, object]:
+    """Run one scenario on one kernel; returns timing + digest + counters."""
+    net = _scenario_network(name, kernel, seed, width, height)
+    rng = random.Random(seed + 97)
+    start = time.perf_counter()
+    _DRIVERS[name](net, cycles, rng)
+    wall = time.perf_counter() - start
+    executed = net.now
+    return {
+        "kernel": net.kernel,
+        "cycles": executed,
+        "wall_seconds": wall,
+        "cycles_per_second": executed / wall if wall > 0 else 0.0,
+        "digest": _digest(net),
+        "activity": net.activity.counters(),
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = 0,
+    width: int = 4,
+    height: int = 4,
+    scenarios: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """Run every scenario on both kernels; returns the BENCH payload.
+
+    Raises ``RuntimeError`` if the two kernels disagree on any scenario's
+    stats digest — a speedup measured against a wrong answer is noise.
+    """
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    payload: Dict[str, object] = {
+        "version": BENCH_VERSION,
+        "quick": quick,
+        "seed": seed,
+        "mesh": [width, height],
+        "scenarios": {},
+        "speedups": {},
+    }
+    for name in names:
+        cycles = SCENARIOS[name][1 if quick else 0]
+        fast = run_scenario(name, "fast", cycles, seed, width, height)
+        naive = run_scenario(name, "naive", cycles, seed, width, height)
+        if fast["digest"] != naive["digest"]:
+            raise RuntimeError(
+                f"kernel divergence in scenario {name!r}: "
+                f"fast={fast['digest']} naive={naive['digest']}"
+            )
+        speedup = (
+            fast["cycles_per_second"] / naive["cycles_per_second"]
+            if naive["cycles_per_second"] > 0
+            else 0.0
+        )
+        payload["scenarios"][name] = {
+            "cycles": cycles,
+            "fast": fast,
+            "naive": naive,
+            "speedup": speedup,
+        }
+        payload["speedups"][name] = speedup
+    return payload
+
+
+def check_regression(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 0.25,
+) -> List[str]:
+    """Compare speedup ratios against a committed baseline.
+
+    Returns human-readable failure strings (empty = pass).  Ratios, not
+    absolute cycles/second, so a slower CI machine does not fail the
+    check — only a change that erodes the fast kernel's relative
+    advantage does.
+    """
+    failures = []
+    base_speedups = baseline.get("speedups", {})
+    for name, current_speedup in current.get("speedups", {}).items():
+        base = base_speedups.get(name)
+        if base is None or base <= 0:
+            continue
+        floor = base * (1.0 - threshold)
+        if current_speedup < floor:
+            failures.append(
+                f"{name}: speedup {current_speedup:.2f}x fell below "
+                f"{floor:.2f}x ({(1 - threshold) * 100:.0f}% of baseline {base:.2f}x)"
+            )
+    return failures
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Fixed-width text table of the bench payload."""
+    lines = [
+        f"{'scenario':>10s} {'cycles':>9s} {'fast c/s':>12s} "
+        f"{'naive c/s':>12s} {'speedup':>8s}"
+    ]
+    for name, row in payload["scenarios"].items():
+        lines.append(
+            f"{name:>10s} {row['cycles']:>9d} "
+            f"{row['fast']['cycles_per_second']:>12.0f} "
+            f"{row['naive']['cycles_per_second']:>12.0f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)

@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.modes import OperationMode
+from repro.noc.network import resolve_kernel
 from repro.noc.packet import Packet
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
@@ -74,7 +75,12 @@ __all__ = [
 logger = logging.getLogger("repro.sim.checkpoint")
 
 CHECKPOINT_MAGIC = b"RNOCCKPT"
-CHECKPOINT_VERSION = 1
+#: Version 2: the pickled object graph gained the activity-driven kernel
+#: state (active-set registries, skip-sampler gap countdowns, the O(1)
+#: outstanding-message counter) and reshaped several slotted hot classes
+#: — version-1 bodies cannot restore into this build, so they are
+#: rejected by the header check instead of failing deep in pickle.
+CHECKPOINT_VERSION = 2
 
 _HEADER_LEN = struct.Struct("<I")
 
@@ -297,6 +303,11 @@ class ResumableRun:
             "phase": segment,
             "finished": self.result is not None,
             "checkpoint_every": self.checkpoint_every,
+            # Informational: which cycle kernel produced the snapshot.
+            # Both kernels are bit-identical and the snapshot carries the
+            # activity registries either way, so a checkpoint written
+            # under one kernel resumes correctly under the other.
+            "kernel": self.sim.network.kernel,
             "config": dataclasses.asdict(self.config),
         }
 
@@ -362,6 +373,13 @@ class ResumableRun:
             else int(meta.get("checkpoint_every", 0) or 0)
         )
         run.sim = payload["sim"]
+        # The kernel choice is an execution detail, not simulation state:
+        # re-resolve it for the resuming process (REPRO_NAIVE_KERNEL)
+        # rather than pinning whatever the snapshotting process used.
+        # Safe either way — the active-set registries in the snapshot are
+        # always a superset of the live entities, and both kernels are
+        # bit-identical.
+        run.sim.network.kernel = resolve_kernel(None)
         run.source = payload["source"]
         run.segments = _plan_segments(run.config, run.sim.policy.trainable)
         run.segment_index = payload["segment_index"]

@@ -66,6 +66,7 @@ class Simulator:
         seed: int = 0,
         energy_params: Optional[EnergyParams] = None,
         core_params: Optional[CorePowerParams] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -86,6 +87,9 @@ class Simulator:
             watchdog_interval=config.watchdog_interval,
             deadlock_cycles=config.deadlock_cycles,
             max_packet_age=config.max_packet_age,
+            # Deliberately NOT part of SimulationConfig: both kernels are
+            # bit-identical, and sweep-cache keys hash the config.
+            kernel=kernel,
         )
         #: hard-fault campaign (None when config.fault_spec is empty)
         self.hard_faults: Optional[HardFaultModel] = None

@@ -128,3 +128,58 @@ def test_property_error_bits_in_range(p, relaxed):
     for _ in range(20):
         bits = model.sample_error_bits(relaxed)
         assert bits in (0, 1, 2, 3)
+
+
+class TestSkipSampling:
+    """The geometric skip-sampler must be a faithful Bernoulli stream."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.sampled_from([0.005, 0.02, 0.05, 0.1, 0.3]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_event_rate_matches_bernoulli(self, p, seed):
+        """Observed event frequency ~ Binomial(n, p) within 5 sigma."""
+        n = max(4_000, int(60 / p))
+        model = ChannelErrorModel(random.Random(seed), 64, p)
+        events = sum(1 for _ in range(n) if model.sample_error_bits(False))
+        sigma = (n * p * (1.0 - p)) ** 0.5
+        assert abs(events - n * p) < 5.0 * sigma + 1.0
+
+    def test_gap_lengths_are_geometric(self):
+        """Mean clean-run length ~ (1-p)/p, the geometric mean gap."""
+        p = 0.05
+        model = ChannelErrorModel(random.Random(11), 64, p)
+        gaps, current = [], 0
+        for _ in range(200_000):
+            if model.sample_error_bits(False):
+                gaps.append(current)
+                current = 0
+            else:
+                current += 1
+        mean_gap = sum(gaps) / len(gaps)
+        expected = (1.0 - p) / p
+        assert abs(mean_gap - expected) < 0.05 * expected + 0.5
+
+    def test_probability_refresh_keeps_memoryless_countdown(self):
+        """Setting the same p must not redraw (epoch refresh is a no-op)."""
+        model = ChannelErrorModel(random.Random(3), 64, 0.1)
+        model.sample_error_bits(False)  # force the countdown to exist
+        before = model._gap
+        model.set_probabilities(0.1, model.relax_factor)
+        assert model._gap == before
+        model.set_probabilities(0.2, model.relax_factor)
+        assert model._gap is None  # an actual change invalidates it
+
+    def test_pickle_roundtrip_preserves_stream(self):
+        """A snapshot mid-stream must continue bit-identically."""
+        import pickle
+
+        model = ChannelErrorModel(random.Random(17), 64, 0.08)
+        for _ in range(137):
+            model.sample_error_bits(False)
+            model.sample_error_bits(True)
+        clone = pickle.loads(pickle.dumps(model))
+        for _ in range(500):
+            assert clone.sample_error_bits(False) == model.sample_error_bits(False)
+            assert clone.sample_error_bits(True) == model.sample_error_bits(True)
