@@ -22,9 +22,13 @@ Six subcommands:
     delivered fraction, reroutes, drops, and post-fault latency.
 ``bench``
     Kernel throughput benchmark (fast vs naive cycle kernel) over the
-    idle/saturated/chaos scenarios; ``--check BENCH_kernel.json`` fails
-    on a speedup-ratio regression, ``--output`` appends the run to the
-    trajectory file.
+    idle/saturated/chaos/traced scenarios; ``--check BENCH_kernel.json``
+    fails on a speedup-ratio regression or a result-digest mismatch,
+    ``--output`` appends the run to the trajectory file.
+``trace``
+    Inspect a JSONL event trace written by ``run/resume/chaos --trace``:
+    per-category summary, ``--tail N`` events, the canonical stream
+    digest, or a filtered JSON dump.
 
 ``compare``, ``sweep``, and ``chaos`` are grids of independent
 simulations, so all go through :mod:`repro.sim.sweep`: ``--jobs N`` fans
@@ -44,12 +48,16 @@ Examples::
     python -m repro.cli compare --benchmark x264 --width 4 --height 4
     python -m repro.cli sweep --design arq_ecc --pattern transpose --jobs 4
     python -m repro.cli chaos --routings xy,adaptive --fault-specs 'link@500:5E'
+    python -m repro.cli run --design rl --fault-spec 'router@20000:5' --trace run.jsonl
+    python -m repro.cli chaos --routings adaptive --trace chaos.jsonl
+    python -m repro.cli trace run.jsonl --tail 10
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -68,14 +76,25 @@ from repro.sim import (
 )
 from repro.faults import parse_fault_spec
 from repro.noc.routing import ROUTING_FUNCTIONS
+from repro.obs import (
+    CATEGORIES as TRACE_CATEGORIES,
+    TraceBuffer,
+    parse_categories,
+    read_trace_jsonl,
+    trace_digest,
+    write_metrics_csv,
+    write_metrics_json,
+    write_trace_jsonl,
+)
 from repro.sim.bench import (
     SCENARIOS as BENCH_SCENARIOS,
+    check_digests,
     check_regression,
     format_report,
     run_bench,
 )
 from repro.sim.checkpoint import CheckpointError, ResumableRun, read_checkpoint_meta
-from repro.sim.sweep import DEFAULT_CACHE_DIR
+from repro.sim.sweep import DEFAULT_CACHE_DIR, _eval_chaos, _payload_to_result
 from repro.traffic import PARSEC_PROFILES
 
 __all__ = ["main", "build_parser", "make_policy"]
@@ -104,6 +123,7 @@ def _config_from_args(args) -> "SimulationConfig":
         epoch_cycles=args.epoch,
         pretrain_cycles=args.pretrain,
         warmup_cycles=args.warmup,
+        fault_spec=getattr(args, "fault_spec", "") or "",
     )
 
 
@@ -139,6 +159,59 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
         "--retries", type=int, default=2,
         help="relaunches per failing point before quarantine (default: %(default)s)",
     )
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record an event trace and write it to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--trace-filter", default=None, metavar="CATS",
+        help="comma-separated categories to record (default: all): "
+        + ", ".join(TRACE_CATEGORIES),
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=65536, metavar="EVENTS",
+        help="trace ring-buffer capacity; oldest events are dropped "
+        "beyond this (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the per-epoch metric timeline (CSV if FILE ends in "
+        ".csv, else JSON snapshot + timeline)",
+    )
+
+
+def _make_tracer(args) -> Optional[TraceBuffer]:
+    if getattr(args, "trace", None) is None:
+        if getattr(args, "trace_filter", None):
+            raise SystemExit("--trace-filter requires --trace FILE")
+        return None
+    try:
+        categories = parse_categories(args.trace_filter)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return TraceBuffer(capacity=args.trace_capacity, categories=categories)
+
+
+def _export_observability(args, tracer, registry) -> None:
+    """Write the ``--trace`` / ``--metrics`` outputs after a run."""
+    if getattr(args, "trace", None) and tracer is not None:
+        count = write_trace_jsonl(tracer, args.trace)
+        print(
+            f"[trace] {count} event(s) -> {args.trace} "
+            f"(digest {tracer.digest()[:12]}, dropped {tracer.dropped}, "
+            f"filtered {tracer.filtered})",
+            file=sys.stderr,
+        )
+    if getattr(args, "metrics", None) and registry is not None:
+        if args.metrics.endswith(".csv"):
+            rows = write_metrics_csv(registry, args.metrics)
+            print(f"[metrics] {rows} timeline row(s) -> {args.metrics}", file=sys.stderr)
+        else:
+            write_metrics_json(registry, args.metrics)
+            print(f"[metrics] snapshot + timeline -> {args.metrics}", file=sys.stderr)
 
 
 def _make_runner(spec: SweepSpec, args) -> SweepRunner:
@@ -185,7 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="profile the run; print hot functions + kernel activity counters",
     )
+    run.add_argument(
+        "--fault-spec", default="", metavar="SPEC",
+        help="hard-fault campaign applied during the run, e.g. "
+        "'router@20000:5' ('' = healthy platform)",
+    )
     _add_platform_args(run)
+    _add_trace_args(run)
 
     resume = sub.add_parser(
         "resume", help="continue a checkpointed run (bit-identical result)"
@@ -196,6 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the snapshot cadence (default: keep the original)",
     )
     resume.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    resume.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the snapshot's event trace (if the original run was "
+        "traced) to FILE as JSONL after the run completes",
+    )
+    resume.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the metric timeline (CSV if FILE ends in .csv, else JSON)",
+    )
 
     comp = sub.add_parser("compare", help="all four designs on one benchmark")
     comp.add_argument("--benchmark", default="canneal")
@@ -233,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--span", type=int, default=3_000, help="injection cycles per point")
     _add_platform_args(chaos)
     _add_sweep_args(chaos)
+    _add_trace_args(chaos)
 
     bench = sub.add_parser(
         "bench", help="fast-vs-naive cycle-kernel throughput benchmark"
@@ -266,6 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="label recorded with the --output entry",
     )
     bench.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    trace = sub.add_parser("trace", help="inspect a JSONL event trace")
+    trace.add_argument("file", help="trace file written by run/resume/chaos --trace")
+    trace.add_argument(
+        "--filter", default=None, metavar="CATS", dest="categories",
+        help="comma-separated categories to keep: " + ", ".join(TRACE_CATEGORIES),
+    )
+    trace.add_argument(
+        "--digest", action="store_true",
+        help="print the canonical stream digest (checkpoint events "
+        "excluded) and exit",
+    )
+    trace.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="also print the last N (filtered) events",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="dump the (filtered) events as a JSON array",
+    )
 
     return parser
 
@@ -309,7 +418,13 @@ def _print_profile(profiler, network) -> None:
 
 def cmd_run(args) -> int:
     _check_benchmark(args.benchmark)
+    if args.fault_spec:
+        try:
+            parse_fault_spec(args.fault_spec)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     config = _config_from_args(args)
+    tracer = _make_tracer(args)
     profiler = None
     if args.profile:
         import cProfile
@@ -326,6 +441,9 @@ def cmd_run(args) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
         )
+        sim = run.sim
+        if tracer is not None:
+            sim.attach_tracer(tracer)
         print(
             f"running {args.design} on {args.benchmark}, snapshotting to "
             f"{args.checkpoint} every {args.checkpoint_every} cycles ...",
@@ -339,7 +457,7 @@ def cmd_run(args) -> int:
             _print_profile(profiler, run.sim.network)
     else:
         policy = make_policy(args.design, args.seed)
-        sim = Simulator(config, policy, seed=args.seed)
+        sim = Simulator(config, policy, seed=args.seed, tracer=tracer)
         if profiler is not None:
             profiler.enable()
         if policy.trainable:
@@ -354,6 +472,7 @@ def cmd_run(args) -> int:
         if profiler is not None:
             profiler.disable()
             _print_profile(profiler, sim.network)
+    _export_observability(args, tracer, sim.metrics)
     _print_result(result, args.json)
     return 0
 
@@ -372,6 +491,15 @@ def cmd_resume(args) -> int:
         file=sys.stderr,
     )
     result = run.run()
+    # The tracer (if the interrupted run had one) travelled inside the
+    # snapshot; --trace here only names where to write it afterwards.
+    if args.trace and run.sim.tracer is None:
+        print(
+            "[trace] snapshot carries no tracer (original run was not "
+            "traced); nothing to export",
+            file=sys.stderr,
+        )
+    _export_observability(args, run.sim.tracer, run.sim.metrics)
     _print_result(result, args.json)
     return 0
 
@@ -489,24 +617,45 @@ def cmd_chaos(args) -> int:
         fault_specs=fault_specs,
         cycles=args.span,
     )
-    runner = _make_runner(spec, args)
-    results = runner.run()
-    print(
-        f"[chaos] {runner.executed} point(s) simulated, "
-        f"{runner.report.from_cache} from cache",
-        file=sys.stderr,
-    )
-    _print_quarantine(runner)
+    tracer = _make_tracer(args)
+    if tracer is not None:
+        # A tracer cannot cross the worker-process boundary and events
+        # are invisible to the result cache, so traced chaos runs are
+        # single-point, in-process, and cache-bypassing.
+        points = spec.expand()
+        if len(points) != 1:
+            raise SystemExit(
+                "chaos --trace requires a single-point grid "
+                "(one routing, one fault spec, one seed)"
+            )
+        payload = _eval_chaos(config, points[0], tracer=tracer)
+        results = [_payload_to_result(points[0], payload, cached=False)]
+        succeeded = True
+        print(
+            "[chaos] 1 point simulated in-process (traced; cache bypassed)",
+            file=sys.stderr,
+        )
+        _export_observability(args, tracer, None)
+    else:
+        runner = _make_runner(spec, args)
+        results = runner.run()
+        print(
+            f"[chaos] {runner.executed} point(s) simulated, "
+            f"{runner.report.from_cache} from cache",
+            file=sys.stderr,
+        )
+        _print_quarantine(runner)
+        succeeded = runner.report.succeeded
     if args.json:
         print(json.dumps(
             [None if p is None else p.chaos for p in results], indent=2
         ))
-        return 0 if runner.report.succeeded else 1
+        return 0 if succeeded else 1
     print(
         f"{'routing':>9s} {'fault spec':>28s} {'delivered':>10s} {'dropped':>8s} "
         f"{'reroutes':>9s} {'post-lat':>9s}  status"
     )
-    worst = 0 if runner.report.succeeded else 1
+    worst = 0 if succeeded else 1
     for point, p in zip(spec.expand(), results):
         if p is None:
             spec_text = point.fault_spec or "(healthy)"
@@ -577,7 +726,8 @@ def cmd_bench(args) -> int:
     status = 0
     failures: list = []
     if args.check is not None:
-        baseline = _latest_baseline(_load_trajectory(args.check))
+        trajectory = _load_trajectory(args.check)
+        baseline = _latest_baseline(trajectory)
         if baseline is None:
             print(
                 f"[bench] no baseline with speedups in {args.check}; "
@@ -588,14 +738,24 @@ def cmd_bench(args) -> int:
             failures = check_regression(payload, baseline, args.threshold)
             for failure in failures:
                 print(f"[bench] REGRESSION {failure}", file=sys.stderr)
-            if failures:
-                status = 1
-            else:
+            if not failures:
                 print(
                     f"[bench] speedups within {args.threshold:.0%} of baseline "
                     f"{baseline.get('label', '(unlabelled)')}",
                     file=sys.stderr,
                 )
+        digest_failures = check_digests(payload, trajectory)
+        for failure in digest_failures:
+            print(f"[bench] DIGEST DRIFT {failure}", file=sys.stderr)
+        if not digest_failures:
+            print(
+                "[bench] stats digests match every baseline entry at this "
+                "measurement point",
+                file=sys.stderr,
+            )
+        failures = failures + digest_failures
+        if failures:
+            status = 1
 
     if args.output is not None:
         trajectory = _load_trajectory(args.output)
@@ -618,6 +778,43 @@ def cmd_bench(args) -> int:
     return status
 
 
+def cmd_trace(args) -> int:
+    try:
+        events = read_trace_jsonl(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.file}") from None
+    except ValueError as exc:
+        raise SystemExit(f"{args.file} is not a JSONL trace: {exc}") from None
+    if args.categories:
+        try:
+            wanted = parse_categories(args.categories)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        events = [ev for ev in events if ev.category in wanted]
+    if args.digest:
+        print(trace_digest(events))
+        return 0
+    if args.json:
+        print(json.dumps([ev.as_dict() for ev in events], indent=2))
+        return 0
+    by_kind: dict = {}
+    for ev in events:
+        key = f"{ev.category}/{ev.kind}"
+        by_kind[key] = by_kind.get(key, 0) + 1
+    span = f"cycles {events[0].cycle}..{events[-1].cycle}" if events else "empty"
+    print(f"{len(events)} event(s), {span}")
+    for key in sorted(by_kind):
+        print(f"  {key:28s} {by_kind[key]}")
+    print(f"digest {trace_digest(events)}")
+    if args.tail > 0:
+        print()
+        for ev in events[-args.tail:]:
+            subject = "-" if ev.subject is None else ev.subject
+            data = " ".join(f"{k}={v}" for k, v in sorted(ev.data.items()))
+            print(f"  @{ev.cycle:<8d} {ev.category}/{ev.kind:<20s} [{subject}] {data}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -627,8 +824,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,
         "bench": cmd_bench,
+        "trace": cmd_trace,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # pragma: no cover - e.g. `repro trace f | head`
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -55,7 +55,11 @@ class RewardGuard:
 REWARD_GUARD = RewardGuard()
 
 
-def compute_reward(mean_latency_cycles: float, power_watts: float) -> float:
+def compute_reward(
+    mean_latency_cycles: float,
+    power_watts: float,
+    counter=None,
+) -> float:
     """Paper equation 3: ``r = [E2E_latency(i) * Power(i)]^-1``.
 
     Latency is the average end-to-end latency of packets that traversed
@@ -63,13 +67,22 @@ def compute_reward(mean_latency_cycles: float, power_watts: float) -> float:
     (static + dynamic) power over the same epoch.  Both are floored to
     keep the reward finite on idle epochs; non-finite inputs (NaN/inf
     from a broken sensor path) are clamped to the same floors and
-    counted in :data:`REWARD_GUARD` so they can never poison a Q-table.
+    counted so they can never poison a Q-table.
+
+    ``counter`` is any object with an ``inc()`` method (e.g. a
+    ``repro.obs.metrics.Counter`` from a per-run registry, which resets
+    cleanly between runs).  The process-wide :data:`REWARD_GUARD` is
+    still bumped as well, for callers without a registry.
     """
     if not math.isfinite(mean_latency_cycles):
         REWARD_GUARD.events += 1
+        if counter is not None:
+            counter.inc()
         mean_latency_cycles = 1.0
     if not math.isfinite(power_watts):
         REWARD_GUARD.events += 1
+        if counter is not None:
+            counter.inc()
         power_watts = 1e-6
     latency = max(mean_latency_cycles, 1.0)
     power = max(power_watts, 1e-6)
@@ -107,6 +120,17 @@ class ControlPolicy(abc.ABC):
         next_observation: RouterObservation,
     ) -> None:
         """Consume one transition; no-op for non-learning policies."""
+
+    def q_values(self, router_id: int, state) -> Optional[tuple]:
+        """Per-action value estimates for telemetry, or ``None``.
+
+        Value-based policies override this so the trace layer can record
+        *why* an action was chosen; policies without action-value
+        estimates (static designs, the DT baseline) return ``None``.
+        Must be side-effect free: introspection never advances RNG or
+        learning state, or traced runs would diverge from untraced ones.
+        """
+        return None
 
     def freeze(self) -> None:
         """End of pre-training: stop exploring / stop updating models.

@@ -123,6 +123,12 @@ class RLControlPolicy(ControlPolicy):
         action = self._agent(router_id).select_action(observation.discrete)
         return OperationMode(action)
 
+    def q_values(self, router_id: int, state) -> Optional[tuple]:
+        """Read-only Q-row for telemetry; never touches the RNG."""
+        if not self._agents:
+            return None
+        return self._agent(router_id).q_values(state)
+
     def learn(
         self,
         router_id: int,

@@ -299,6 +299,12 @@ class HardFaultModel:
         else:
             self._start_burst(event, now)
         self.applied.append((event.format(), now))
+        # Campaign-level marker on top of the kill_* emissions: bursts
+        # raise error probabilities without killing anything, so only
+        # this event records them in the trace.
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.emit(now, "fault", "campaign_event", spec=event.format())
 
     # ------------------------------------------------------------------
     def _start_burst(self, event: HardFaultEvent, now: int) -> None:

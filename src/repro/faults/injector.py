@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.faults.varius import VariusModel
 from repro.noc.network import Network
+from repro.obs.metrics import Counter, MetricRegistry
 
 __all__ = ["FaultInjector"]
 
@@ -36,6 +37,7 @@ class FaultInjector:
         varius: VariusModel,
         voltage: Optional[float] = None,
         error_scale: float = 1.0,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         if error_scale < 0:
             raise ValueError("error_scale cannot be negative")
@@ -47,10 +49,21 @@ class FaultInjector:
         self.error_scale = error_scale
         #: last probabilities applied, keyed like network.channels
         self.current: Dict[Tuple[int, int], float] = {}
-        #: refreshes where p * error_scale clipped at 1.0 — a saturated
-        #: probability means error_scale is too aggressive for the die
-        #: conditions and relative comparisons between channels are lost
-        self.saturation_events = 0
+        # Refreshes where p * error_scale clipped at 1.0 — a saturated
+        # probability means error_scale is too aggressive for the die
+        # conditions and relative comparisons between channels are lost.
+        # The tally lives in a registry counter (per-run, appears in
+        # metric exports, resets with the registry) instead of bare
+        # instance state; ``saturation_events`` stays as the public view.
+        if registry is None:
+            registry = MetricRegistry()
+        self._saturation_counter: Counter = registry.counter(
+            "injector.saturation_events"
+        )
+
+    @property
+    def saturation_events(self) -> int:
+        return self._saturation_counter.value
 
     def refresh(self, temperatures: Sequence[float]) -> None:
         """Recompute per-channel error probabilities for the next epoch."""
@@ -69,7 +82,7 @@ class FaultInjector:
             p, p_relaxed = cache[src]
             raw = p * self.error_scale
             if raw > 1.0:
-                if self.saturation_events == 0:
+                if self._saturation_counter.value == 0:
                     warnings.warn(
                         f"error probability saturated: p={p:g} * "
                         f"error_scale={self.error_scale:g} = {raw:g} > 1; "
@@ -78,7 +91,7 @@ class FaultInjector:
                         RuntimeWarning,
                         stacklevel=2,
                     )
-                self.saturation_events += 1
+                self._saturation_counter.inc()
             # p_relaxed can exceed p in pathological corners of the VARIUS
             # fit; the relax factor is a probability multiplier and must
             # stay inside [0, 1].

@@ -84,6 +84,8 @@ class NetworkInterface:
         #: for ejection while router-ejected flits await processing
         self._act_inject: Optional[Set[int]] = None
         self._act_eject: Optional[Set[int]] = None
+        #: observability hook installed by Network.attach_tracer
+        self.tracer = None
 
     def bind_activity(self, inject: Set[int], eject: Set[int]) -> None:
         """Attach this NI to its Network's active-NI sets."""
@@ -292,6 +294,16 @@ class NetworkInterface:
                 + SIDEBAND_BASE_LATENCY
             )
             source.schedule_retransmission(packet.message_id, now + delay)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "retx",
+                    "crc_retransmission",
+                    subject=self.id,
+                    message=packet.message_id,
+                    src=packet.src,
+                    due=now + delay,
+                )
 
     #: router lookup installed by the Network (router id -> Router)
     _router_lookup: Callable[[int], Router] = None

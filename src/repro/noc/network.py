@@ -194,6 +194,9 @@ class Network:
         )
         #: optional hard-fault campaign ticked at the top of every cycle
         self.hard_faults = None
+        #: optional repro.obs.TraceBuffer — ``None`` keeps every hook a
+        #: single ``is not None`` test (see attach_tracer)
+        self.tracer = None
 
         #: channels keyed by (source router, source port)
         self.channels: Dict[Tuple[int, int], Channel] = {}
@@ -248,6 +251,26 @@ class Network:
 
     def _router_lookup(self, router_id: int) -> Router:
         return self.routers[router_id]
+
+    def _clock(self) -> int:
+        return self.now
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) an event tracer.
+
+        Routers and NIs don't hold a back-reference to the network, so
+        they get the tracer plus the bound ``_clock`` method (bound
+        methods pickle, keeping checkpoint/resume working; lambdas do
+        not — same idiom as ``ni.peer`` above).  Hook sites only fire at
+        event frequency, so tracing is zero-cost when detached.
+        """
+        self.tracer = tracer
+        clock = self._clock if tracer is not None else None
+        for router in self.routers:
+            router.tracer = tracer
+            router.trace_clock = clock
+        for ni in self.interfaces:
+            ni.tracer = tracer
 
     # ------------------------------------------------------------------
     # External control surface
@@ -490,6 +513,20 @@ class Network:
         if unreachable:
             self.stats.unreachable_drops += 1
         self._drop_message(packet)
+        if self.tracer is not None:
+            # message_id, not pid: pids come from a process-global
+            # counter, so they differ across runs in one process and
+            # would break golden-trace digests.
+            self.tracer.emit(
+                self.now,
+                "fault",
+                "rc_drop",
+                subject=router_id,
+                message=packet.message_id,
+                src=packet.src,
+                dest=packet.dest,
+                unreachable=unreachable,
+            )
         if unreachable and self.unreachable_action == "raise":
             raise UnreachableDestinationError(
                 f"packet {packet.pid} at router {router_id}: destination "
@@ -526,8 +563,27 @@ class Network:
                 + SIDEBAND_BASE_LATENCY
             )
             source.schedule_retransmission(packet.message_id, now + delay)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "fault",
+                    "recovery",
+                    subject=packet.src,
+                    message=packet.message_id,
+                    dest=packet.dest,
+                    due=now + delay,
+                )
         else:
-            self._drop_message(packet)
+            dropped = self._drop_message(packet)
+            if self.tracer is not None and dropped:
+                self.tracer.emit(
+                    now,
+                    "fault",
+                    "message_drop",
+                    subject=packet.src,
+                    message=packet.message_id,
+                    dest=packet.dest,
+                )
 
     def kill_link(self, src: int, port: Port) -> bool:
         """Permanently kill the directed link ``src -> port``.
@@ -544,6 +600,15 @@ class Network:
             return False
         now = self.now
         self.fault_state.kill_link(src, int(port))
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "fault",
+                "link_kill",
+                subject=src,
+                port=port.name,
+                dst=channel.spec.dst,
+            )
 
         lost: List[Packet] = []
 
@@ -597,6 +662,8 @@ class Network:
             return False
         now = self.now
         self.fault_state.kill_node(node)
+        if self.tracer is not None:
+            self.tracer.emit(now, "fault", "router_kill", subject=node)
         for port in _LINK_PORTS:
             self.kill_link(node, port)
             neighbour = self.topology.neighbour(node, port)

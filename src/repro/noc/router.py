@@ -155,6 +155,12 @@ class Router:
         #: local temperature in degrees C, refreshed by the thermal model
         self.temperature = 50.0
 
+        #: observability hooks installed by Network.attach_tracer; the
+        #: router has no network back-reference, so it also gets the
+        #: network's bound clock method for timestamps
+        self.tracer = None
+        self.trace_clock: Optional[Callable[[], int]] = None
+
         #: Network-owned set of router ids whose ``step`` must run; None
         #: for standalone routers (unit tests).  Events that create
         #: pipeline work re-register the router here; the cycle kernel
@@ -208,6 +214,16 @@ class Router:
         self._apply_mode(mode)
 
     def _apply_mode(self, mode: OperationMode) -> None:
+        if self.tracer is not None and mode != self.mode:
+            self.tracer.emit(
+                self.trace_clock() if self.trace_clock is not None else 0,
+                "mode",
+                "transition",
+                subject=self.id,
+                old=int(self.mode),
+                new=int(mode),
+                deferred=self._pending_mode is not None,
+            )
         self.mode = mode
         self.behaviour = MODE_BEHAVIOUR[mode]
         self._pending_mode = None

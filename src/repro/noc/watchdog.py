@@ -114,17 +114,26 @@ class NetworkWatchdog:
             live += epoch.buffer_writes + epoch.buffer_reads + epoch.flit_retransmissions
         return self.network.stats.buffer_ops + live
 
+    def _trip(self, now: int, kind: str) -> None:
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.emit(now, "watchdog", "trip", error=kind)
+
     def check(self, now: int) -> None:
         """Run all enabled invariant checks; raises on violation."""
         self.checks += 1
         network = self.network
         stats = network.stats
         outstanding = sum(ni.outstanding_messages for ni in network.interfaces)
+        tracer = network.tracer
+        if tracer is not None:
+            tracer.emit(now, "watchdog", "check", outstanding=outstanding)
 
         # The O(1) quiescence counter must agree with the ground-truth
         # NI scan — a divergence means an enqueue/release/drop path
         # forgot its increment and the drain loop would mis-terminate.
         if stats.outstanding_messages != outstanding:
+            self._trip(now, "outstanding_counter")
             raise ConservationError(
                 f"outstanding-message counter diverged at cycle {now}: "
                 f"counter {stats.outstanding_messages} != scan {outstanding}",
@@ -138,6 +147,7 @@ class NetworkWatchdog:
 
         expected = stats.messages_created - stats.packets_delivered - stats.messages_dropped
         if expected != outstanding:
+            self._trip(now, "conservation")
             raise ConservationError(
                 f"packet conservation violated at cycle {now}: created "
                 f"{stats.messages_created} != delivered {stats.packets_delivered} "
@@ -162,6 +172,7 @@ class NetworkWatchdog:
             self._last_activity = activity
             self._last_progress_cycle = now
         elif now - self._last_progress_cycle >= self.deadlock_cycles:
+            self._trip(now, "deadlock")
             raise DeadlockError(
                 f"deadlock: {outstanding} message(s) outstanding but no flit "
                 f"moved for {now - self._last_progress_cycle} cycles",
@@ -190,6 +201,7 @@ class NetworkWatchdog:
                 report["overage_messages"] = sorted(
                     oldest, key=lambda m: -m["age"]
                 )[:16]
+                self._trip(now, "livelock")
                 raise LivelockError(
                     f"livelock/starvation: {len(oldest)} message(s) older than "
                     f"{self.max_packet_age} cycles (oldest {oldest_age})",

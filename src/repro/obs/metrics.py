@@ -1,0 +1,247 @@
+"""A unified registry of counters, gauges, and histograms.
+
+``NetworkStats`` keeps the hot per-flit tallies in ``__slots__`` for
+speed and stays untouched; the registry is the *cool* layer above it —
+run-level counters (reward-guard clamps, injector saturations, sweep
+supervision totals) and per-epoch snapshots of derived gauges.  The
+simulator ingests both into one namespace so exports see every tally
+without reaching into module globals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "DEFAULT_BOUNDS"]
+
+#: Default histogram bucket upper bounds (latency-style, in cycles).
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    10.0,
+    20.0,
+    40.0,
+    80.0,
+    160.0,
+    320.0,
+    640.0,
+    1280.0,
+)
+
+
+class Counter:
+    """Monotonic within a run; reset only between runs."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with running sum/min/max.
+
+    ``merge`` is associative and commutative (pure element-wise sums
+    plus min/max), which the hypothesis property tests pin down — the
+    sweep supervisor relies on it when folding worker results together.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        # one bucket per bound plus the overflow bucket
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.buckets[idx] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        for bound_attr in ("min", "max"):
+            theirs = getattr(other, bound_attr)
+            if theirs is None:
+                continue
+            mine = getattr(self, bound_attr)
+            if mine is None:
+                setattr(self, bound_attr, theirs)
+            elif bound_attr == "min":
+                self.min = min(mine, theirs)
+            else:
+                self.max = max(mine, theirs)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        # totals are float sums, so reassociating merges perturbs the
+        # last bits — compare with a relative tolerance, not exactly
+        scale = max(1.0, abs(self.total), abs(other.total))
+        return (
+            self.bounds == other.bounds
+            and self.buckets == other.buckets
+            and self.count == other.count
+            and abs(self.total - other.total) <= 1e-9 * scale
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+
+class MetricRegistry:
+    """Named metric namespace with a bounded per-epoch timeline.
+
+    Instruments are created on first access (``counter("a.b")``), so the
+    producers don't need a shared schema; ``snapshot_epoch`` appends one
+    flat row of every scalar instrument to :attr:`timeline` (histograms
+    are snapshot-only — they appear in :meth:`snapshot`, not rows).
+    """
+
+    def __init__(self, max_timeline: int = 4096) -> None:
+        if max_timeline < 1:
+            raise ValueError("max_timeline must be positive")
+        self.max_timeline = max_timeline
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.timeline: List[Dict[str, float]] = []
+        self.timeline_dropped = 0
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(bounds)
+        return inst
+
+    def ingest(self, prefix: str, values: Mapping[str, object]) -> None:
+        """Absorb a plain mapping of numeric tallies as gauges."""
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.gauge(f"{prefix}.{key}").set(value)
+
+    # ------------------------------------------------------------------
+    def scalars(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+            "timeline_rows": len(self.timeline),
+            "timeline_dropped": self.timeline_dropped,
+        }
+
+    def snapshot_epoch(self, cycle: int) -> Dict[str, float]:
+        row: Dict[str, float] = {"cycle": cycle}
+        row.update(sorted(self.scalars().items()))
+        if len(self.timeline) >= self.max_timeline:
+            self.timeline.pop(0)
+            self.timeline_dropped += 1
+        self.timeline.append(row)
+        return row
+
+    # ------------------------------------------------------------------
+    def names(self) -> Dict[str, Iterable[str]]:
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "histograms": sorted(self._histograms),
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument and clear the timeline (between runs)."""
+        for c in self._counters.values():
+            c.reset()
+        for g in self._gauges.values():
+            g.reset()
+        for h in self._histograms.values():
+            h.reset()
+        self.timeline.clear()
+        self.timeline_dropped = 0

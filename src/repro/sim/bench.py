@@ -17,6 +17,12 @@ module measures what that buys, honestly, on three workload shapes:
     Moderate uniform load under a hard-fault campaign (link and router
     kills plus an error burst) with adaptive routing — the stress shape
     of the graceful-degradation experiments.
+``traced``
+    Byte-for-byte the chaos scenario with a :class:`~repro.obs.trace.
+    TraceBuffer` attached.  Its stats digest must equal chaos's — the
+    observability layer's zero-cost-when-disabled *and* behaviour-
+    neutral-when-enabled contract (DESIGN.md §12) — and the reported
+    ``trace_overhead`` ratio shows what event capture costs.
 
 Each scenario runs on both kernels from identical seeds; the two runs
 must agree on a stats digest (the bit-identical contract from
@@ -26,7 +32,9 @@ enough for a CI smoke check even though the absolute rates are not.
 
 ``python -m repro.cli bench`` is the entry point; ``--check`` compares
 against a committed baseline (``BENCH_kernel.json``) and fails on a
-speedup regression beyond the threshold.
+speedup regression beyond the threshold or on any stats-digest drift
+from a baseline entry at the same (quick, seed, mesh) point
+(:func:`check_digests`).
 """
 
 from __future__ import annotations
@@ -39,12 +47,14 @@ from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
 from repro.noc.network import Network
 from repro.noc.packet import Packet
 from repro.noc.topology import MeshTopology
+from repro.obs import TraceBuffer
 
 __all__ = [
     "SCENARIOS",
     "run_scenario",
     "run_bench",
     "check_regression",
+    "check_digests",
     "format_report",
 ]
 
@@ -53,6 +63,9 @@ SCENARIOS: Dict[str, Tuple[int, int]] = {
     "idle": (150_000, 40_000),
     "saturated": (15_000, 4_000),
     "chaos": (20_000, 6_000),
+    # Same cycles as chaos on purpose: run_bench() asserts their stats
+    # digests are identical, proving tracing does not perturb the run.
+    "traced": (20_000, 6_000),
 }
 
 #: payload schema version for BENCH_kernel.json
@@ -163,6 +176,7 @@ _DRIVERS: Dict[str, Callable[[Network, int, random.Random], None]] = {
     "idle": _drive_idle,
     "saturated": _drive_saturated,
     "chaos": _drive_chaos,
+    "traced": _drive_chaos,
 }
 
 
@@ -175,13 +189,16 @@ def _scenario_network(name: str, kernel: str, seed: int, width: int, height: int
         return _make_network(
             kernel, seed, width, height, error_probability=0.01, relax_factor=0.5
         )
-    if name == "chaos":
+    if name in ("chaos", "traced"):
         # Kill an east link early, a router mid-run, and raise error rates
         # in a burst window — adaptive routing reroutes around the holes.
         spec = "link@2000:5E;router@8000:10;burst@4000+2000:0.05"
-        return _make_network(
+        net = _make_network(
             kernel, seed, width, height, routing="adaptive", fault_spec=spec
         )
+        if name == "traced":
+            net.attach_tracer(TraceBuffer())
+        return net
     raise ValueError(f"unknown scenario {name!r}; pick one of {', '.join(SCENARIOS)}")
 
 
@@ -200,7 +217,7 @@ def run_scenario(
     _DRIVERS[name](net, cycles, rng)
     wall = time.perf_counter() - start
     executed = net.now
-    return {
+    result: Dict[str, object] = {
         "kernel": net.kernel,
         "cycles": executed,
         "wall_seconds": wall,
@@ -208,6 +225,13 @@ def run_scenario(
         "digest": _digest(net),
         "activity": net.activity.counters(),
     }
+    if net.tracer is not None:
+        result["trace"] = {
+            "events": len(net.tracer),
+            "dropped": net.tracer.dropped,
+            "digest": net.tracer.digest(),
+        }
+    return result
 
 
 def run_bench(
@@ -220,7 +244,10 @@ def run_bench(
     """Run every scenario on both kernels; returns the BENCH payload.
 
     Raises ``RuntimeError`` if the two kernels disagree on any scenario's
-    stats digest — a speedup measured against a wrong answer is noise.
+    stats digest — a speedup measured against a wrong answer is noise —
+    or (when both ``chaos`` and ``traced`` run) if attaching a tracer
+    changed the chaos run's stats digest, which would mean observability
+    is not behaviour-neutral.
     """
     names = list(scenarios) if scenarios else list(SCENARIOS)
     payload: Dict[str, object] = {
@@ -240,6 +267,13 @@ def run_bench(
                 f"kernel divergence in scenario {name!r}: "
                 f"fast={fast['digest']} naive={naive['digest']}"
             )
+        if "trace" in fast and fast["trace"]["digest"] != naive["trace"]["digest"]:
+            raise RuntimeError(
+                f"trace divergence in scenario {name!r}: the two kernels "
+                f"emitted different event streams "
+                f"(fast={fast['trace']['digest'][:16]} "
+                f"naive={naive['trace']['digest'][:16]})"
+            )
         speedup = (
             fast["cycles_per_second"] / naive["cycles_per_second"]
             if naive["cycles_per_second"] > 0
@@ -252,6 +286,25 @@ def run_bench(
             "speedup": speedup,
         }
         payload["speedups"][name] = speedup
+
+    rows = payload["scenarios"]
+    if "chaos" in rows and "traced" in rows:
+        chaos_fast, traced_fast = rows["chaos"]["fast"], rows["traced"]["fast"]
+        if chaos_fast["digest"] != traced_fast["digest"]:
+            raise RuntimeError(
+                "observability overhead check failed: the traced scenario's "
+                f"stats digest {traced_fast['digest']} differs from the "
+                f"untraced chaos run's {chaos_fast['digest']} — tracing "
+                "must not perturb simulation behaviour"
+            )
+        # Wall-clock cost of event capture (>= ~1.0; timing-noisy, so it
+        # is reported rather than gated — the digest equality above is
+        # the hard contract).
+        payload["trace_overhead"] = (
+            chaos_fast["cycles_per_second"] / traced_fast["cycles_per_second"]
+            if traced_fast["cycles_per_second"] > 0
+            else 0.0
+        )
     return payload
 
 
@@ -282,6 +335,43 @@ def check_regression(
     return failures
 
 
+def check_digests(
+    current: Dict[str, object],
+    trajectory: Dict[str, object],
+) -> List[str]:
+    """Compare per-scenario stats digests against baseline entries.
+
+    Scans every trajectory entry recorded at the same measurement point
+    (``quick`` scale, seed, mesh) and fails if any scenario present in
+    both runs produced a different stats digest at the same cycle count.
+    Digests are pure simulation results — unlike cycles/second they are
+    machine-independent, so any drift means the simulation's behaviour
+    changed, not that the hardware did.
+
+    Returns human-readable failure strings (empty = pass, including the
+    vacuous pass when no entry matches the measurement point).
+    """
+    failures: List[str] = []
+    point = (current.get("quick"), current.get("seed"), current.get("mesh"))
+    for entry in trajectory.get("entries", []):
+        if (entry.get("quick"), entry.get("seed"), entry.get("mesh")) != point:
+            continue
+        base_rows = entry.get("scenarios") or {}
+        for name, row in (current.get("scenarios") or {}).items():
+            base_row = base_rows.get(name)
+            if base_row is None or base_row.get("cycles") != row.get("cycles"):
+                continue
+            base_digest = (base_row.get("fast") or {}).get("digest")
+            digest = (row.get("fast") or {}).get("digest")
+            if base_digest and digest != base_digest:
+                label = entry.get("label", "(unlabelled)")
+                failures.append(
+                    f"{name}: stats digest drifted from baseline {label!r}: "
+                    f"now {digest} was {base_digest}"
+                )
+    return failures
+
+
 def format_report(payload: Dict[str, object]) -> str:
     """Fixed-width text table of the bench payload."""
     lines = [
@@ -295,4 +385,13 @@ def format_report(payload: Dict[str, object]) -> str:
             f"{row['naive']['cycles_per_second']:>12.0f} "
             f"{row['speedup']:>7.2f}x"
         )
+        trace = row["fast"].get("trace")
+        if trace is not None:
+            lines.append(
+                f"{'':>10s} tracing captured {trace['events']} event(s), "
+                f"{trace['dropped']} dropped"
+            )
+    overhead = payload.get("trace_overhead")
+    if overhead:
+        lines.append(f"trace overhead (chaos vs traced, fast kernel): {overhead:.2f}x")
     return "\n".join(lines)

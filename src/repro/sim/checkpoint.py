@@ -316,6 +316,20 @@ class ResumableRun:
         target = Path(path) if path is not None else self.checkpoint_path
         if target is None:
             raise ValueError("no checkpoint path configured")
+        # Emit before pickling, so the snapshot's own trace buffer
+        # already contains this save marker — a run that checkpoints and
+        # one that checkpoints *and later resumes* then carry identical
+        # save events (the canonical digest excludes the checkpoint
+        # category anyway; see repro.obs.trace.DIGEST_EXCLUDE).
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit(
+                self.sim.network.now,
+                "checkpoint",
+                "save",
+                segment=self.segment_index,
+                offset=self.segment_offset,
+            )
         payload = {
             "config": self.config,
             "design": self.design,
@@ -400,6 +414,18 @@ class ResumableRun:
             logger.warning(
                 "resume degraded %d router(s) to safe mode",
                 len(run.sim.policy.safe_mode_routers),
+            )
+        # The trace buffer (if any) travelled inside the pickled sim; the
+        # restore marker is the only event a resumed stream has that the
+        # uninterrupted one lacks, and the canonical digest excludes it.
+        tracer = getattr(run.sim, "tracer", None)
+        if tracer is not None:
+            tracer.emit(
+                run.sim.network.now,
+                "checkpoint",
+                "restore",
+                segment=run.segment_index,
+                offset=run.segment_offset,
             )
         return run
 

@@ -34,6 +34,7 @@ from repro.noc.packet import Packet
 from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.noc.topology import MeshTopology, Port
 from repro.noc.watchdog import ConservationError, NoCInvariantError
+from repro.obs.metrics import MetricRegistry
 from repro.power.orion import CorePowerParams, EnergyParams, RouterPowerModel
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import RunResult, StatsSnapshot
@@ -67,6 +68,7 @@ class Simulator:
         energy_params: Optional[EnergyParams] = None,
         core_params: Optional[CorePowerParams] = None,
         kernel: Optional[str] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -104,8 +106,16 @@ class Simulator:
             t_ambient=config.t_ambient,
             alpha=config.thermal_alpha,
         )
+        #: per-run metric registry; counters here (unlike the module
+        #: globals they replace) reset with the simulator instance
+        self.metrics = MetricRegistry()
+        self._reward_guard_counter = self.metrics.counter("reward.guard_clamps")
         self.injector = FaultInjector(
-            self.network, self.varius, voltage=config.voltage, error_scale=config.error_scale
+            self.network,
+            self.varius,
+            voltage=config.voltage,
+            error_scale=config.error_scale,
+            registry=self.metrics,
         )
         params = energy_params if energy_params is not None else EnergyParams(clock_hz=config.clock_hz)
         self.power_model = RouterPowerModel(params)
@@ -138,8 +148,29 @@ class Simulator:
         #: could not handle the degradation itself
         self._safe_routers: set = set()
 
+        #: run-local message-id sequence for simulator-injected traffic.
+        #: Generators leave ``message_id`` to default to the process-global
+        #: pid, which drifts between runs in one process; trace events
+        #: reference messages by id, so injection stamps them from this
+        #: counter instead (monotonic in creation order, exactly like
+        #: pids, so ARQ heap tie-breaking is unchanged).
+        self._next_message_id = 0
+
+        #: optional repro.obs.TraceBuffer, propagated to the network
+        self.tracer = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
         # Prime the fault model with the initial (ambient) thermal state.
         self.injector.refresh(self.thermal.as_list())
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) an event tracer end-to-end."""
+        self.tracer = tracer
+        self.network.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -209,6 +240,15 @@ class Simulator:
             "invariant trip handled: %s — %d router(s) degraded to mode 3",
             type(exc).__name__, len(implicated),
         )
+        self.metrics.counter("watchdog.safe_mode_entries").inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                network.now,
+                "watchdog",
+                "safe_mode",
+                error=type(exc).__name__,
+                routers=implicated,
+            )
         if network.watchdog is not None:
             network.watchdog.rearm(network.now)
 
@@ -283,22 +323,46 @@ class Simulator:
             obs.true_error_probability = error_by_router.get(router.id, 0.0)
             observations.append(obs)
 
+        tracer = self.tracer
+        guard = self._reward_guard_counter
         if learn and self._prev_obs is not None:
             for router, obs, prev, action in zip(
                 network.routers, observations, self._prev_obs, self._prev_actions
             ):
+                before = guard.value
                 reward = compute_reward(
                     router.epoch.mean_delivered_latency(default_latency),
                     router_powers[router.id],
+                    counter=guard,
                 )
+                if tracer is not None and guard.value != before:
+                    tracer.emit(
+                        network.now,
+                        "reward",
+                        "guard_clamp",
+                        subject=router.id,
+                        clamps=guard.value - before,
+                    )
                 self.policy.learn(router.id, prev, action, reward, obs)
 
+        trace_rl = tracer is not None and tracer.wants("rl")
         actions = []
         for router, obs in zip(network.routers, observations):
             if self.forced_mode is not None:
                 mode = self.forced_mode
             else:
                 mode = self.policy.select(router.id, obs)
+                if trace_rl:
+                    q = self.policy.q_values(router.id, obs.discrete)
+                    tracer.emit(
+                        network.now,
+                        "rl",
+                        "decision",
+                        subject=router.id,
+                        action=int(mode),
+                        state=list(obs.discrete),
+                        q_values=None if q is None else [float(v) for v in q],
+                    )
             if router.id in self._safe_routers:
                 # The policy could not degrade itself; the simulator pins
                 # the router to the conservative mode on its behalf.
@@ -313,8 +377,41 @@ class Simulator:
             self._measured_temp_sum += float(sum(temperatures)) / len(temperatures)
             self._measured_error_sum += self.injector.mean_probability()
 
+        self._record_epoch_metrics(span, default_latency, temperatures, router_powers)
+
         network.harvest_epoch_counters(span)
         network.reset_epoch_counters()
+
+    def _record_epoch_metrics(
+        self,
+        span: int,
+        mean_latency: float,
+        temperatures: Sequence[float],
+        router_powers: Sequence[float],
+    ) -> None:
+        """Fold this epoch into the registry and append a timeline row.
+
+        Runs at epoch frequency only, touches no RNG, and reads the same
+        aggregates the control loop already computed — so it cannot
+        perturb simulation results (the bench digest gates enforce it).
+        """
+        m = self.metrics
+        m.counter("epochs").inc()
+        m.gauge("epoch.span").set(span)
+        m.gauge("epoch.mean_latency").set(mean_latency)
+        m.histogram("epoch.latency").record(mean_latency)
+        m.gauge("epoch.mean_temperature").set(
+            float(sum(temperatures)) / len(temperatures)
+        )
+        m.gauge("epoch.mean_error_probability").set(self.injector.mean_probability())
+        m.gauge("epoch.mean_router_power_watts").set(
+            sum(router_powers) / len(router_powers)
+        )
+        m.gauge("watchdog.safe_mode_trips").set(len(self.safe_mode_events))
+        if self.network.watchdog is not None:
+            m.gauge("watchdog.checks").set(self.network.watchdog.checks)
+        m.ingest("net", self.network.stats.as_dict())
+        m.snapshot_epoch(self.network.now)
 
     # ------------------------------------------------------------------
     # Phase drivers
@@ -345,6 +442,8 @@ class Simulator:
                     # Sources see trace-relative time; latency accounting
                     # needs the absolute injection timestamp.
                     packet.created_at = network.now
+                    packet.message_id = self._next_message_id
+                    self._next_message_id += 1
                     network.inject(packet)
             self._cycle()
             if network.now % epoch == 0:
@@ -389,6 +488,8 @@ class Simulator:
         while not (source_exhausted() and network.quiescent):
             for packet in source.packets_for_cycle(network.now - origin):
                 packet.created_at = network.now
+                packet.message_id = self._next_message_id
+                self._next_message_id += 1
                 network.inject(packet)
             self._cycle()
             if network.now % epoch == 0:

@@ -374,13 +374,20 @@ def _eval_mode_error(config: SimulationConfig, point: SweepPoint) -> Dict[str, o
     }
 
 
-def _eval_chaos(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+def _eval_chaos(
+    config: SimulationConfig, point: SweepPoint, tracer=None
+) -> Dict[str, object]:
     """Graceful-degradation run: one routing policy under a hard-fault
     campaign with open-loop uniform traffic.
 
     Invariant-watchdog trips do not fail the sweep — they come back as a
     structured ``diagnosis`` payload, because "this configuration
     deadlocks under this cut" *is* the measurement.
+
+    ``tracer`` attaches an event tracer to the network (CLI
+    ``chaos --trace``).  Traced runs execute in-process and bypass the
+    result cache — a tracer cannot cross the worker-process boundary,
+    and events are a side channel the cache key does not cover.
     """
     topology = MeshTopology(config.width, config.height)
     network = Network(
@@ -397,6 +404,8 @@ def _eval_chaos(config: SimulationConfig, point: SweepPoint) -> Dict[str, object
         deadlock_cycles=config.deadlock_cycles,
         max_packet_age=config.max_packet_age,
     )
+    if tracer is not None:
+        network.attach_tracer(tracer)
     model = HardFaultModel(network, HardFaultSchedule.parse(point.fault_spec))
     network.hard_faults = model
     rate = point.rate if point.rate > 0.0 else 0.1
@@ -711,6 +720,19 @@ class SweepReport:
         """True when every point produced a result."""
         return not self.quarantined
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "from_cache": self.from_cache,
+            "executed": self.executed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "quarantined": len(self.quarantined),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
 
 # ----------------------------------------------------------------------
 # Runner
@@ -756,6 +778,7 @@ class SweepRunner:
         max_retries: int = 2,
         retry_base_delay: float = 0.5,
         retry_jitter: float = 0.5,
+        registry=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -776,6 +799,9 @@ class SweepRunner:
         self.retry_jitter = retry_jitter
         self.executed = 0
         self.report: Optional[SweepReport] = None
+        #: optional repro.obs MetricRegistry that absorbs the final
+        #: SweepReport counts as ``sweep.*`` gauges after each run
+        self.registry = registry
 
     # ------------------------------------------------------------------
     def run(self) -> List[Optional[PointResult]]:
@@ -814,6 +840,8 @@ class SweepRunner:
             else:
                 self._run_supervised(pending, results, state, report)
         report.elapsed_seconds = time.monotonic() - started
+        if self.registry is not None:
+            self.registry.ingest("sweep", report.as_dict())
         return results
 
     # ------------------------------------------------------------------

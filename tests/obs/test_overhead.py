@@ -1,0 +1,180 @@
+"""Observability must be free when off and behaviour-neutral when on.
+
+The tentpole contract from DESIGN.md §12: attaching a tracer changes
+*nothing* about a simulation except that events get recorded.  These
+tests pin that at the network level, at the full-simulation level, and
+through the bench harness's ``traced`` scenario and digest gates.  They
+also cover the tally migration: per-run registry counters replace the
+ad-hoc module tallies and reset cleanly between runs.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.core.controller import REWARD_GUARD, compute_reward
+from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
+from repro.faults.injector import FaultInjector
+from repro.faults.varius import VariusModel
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology
+from repro.obs import MetricRegistry, TraceBuffer
+from repro.sim import ResumableRun, scaled_config
+from repro.sim.bench import check_digests, run_bench
+
+CHAOS_SPEC = "link@300:1E;router@700:5;burst@500+200:0.1"
+
+
+def _network(seed, tracer):
+    net = Network(
+        MeshTopology(4, 4),
+        routing_fn="adaptive",
+        rng=random.Random(seed + 1),
+        routing_seed=seed,
+        kernel="fast",
+    )
+    net.hard_faults = HardFaultModel(net, HardFaultSchedule.parse(CHAOS_SPEC))
+    for _, model in net.channel_models():
+        model.event_probability = 0.01
+        model.relax_factor = 0.5
+    if tracer is not None:
+        net.attach_tracer(tracer)
+    rng = random.Random(seed + 7)
+    message_id = 0
+    while net.now < 1_200:
+        if rng.random() < 0.15:
+            src, dst = rng.randrange(16), rng.randrange(16)
+            if src != dst:
+                net.inject(Packet(src, dst, 4, 128, net.now, message_id=message_id))
+                message_id += 1
+        net.cycle()
+    deadline = net.now + 50_000
+    while not net.quiescent and net.now < deadline:
+        net.cycle()
+    return net
+
+
+class TestTracingIsBehaviourNeutral:
+    def test_network_stats_identical_with_and_without_tracer(self):
+        untraced = _network(5, None)
+        traced = _network(5, TraceBuffer())
+        assert traced.stats.as_dict() == untraced.stats.as_dict()
+        assert len(traced.tracer) > 0
+
+    def test_full_simulation_result_identical_with_and_without_tracer(self):
+        config = scaled_config(
+            width=3, height=3, epoch_cycles=100, pretrain_cycles=1_200,
+            warmup_cycles=300, fault_spec="router@2000:4",
+        )
+        untraced = ResumableRun(config, "rl", "swaptions", trace_cycles=300).run()
+        run = ResumableRun(config, "rl", "swaptions", trace_cycles=300)
+        run.sim.attach_tracer(TraceBuffer())
+        assert run.run() == untraced
+
+
+class TestBenchTracedScenario:
+    def test_traced_scenario_matches_chaos_digest(self):
+        payload = run_bench(quick=True, scenarios=["chaos", "traced"])
+        rows = payload["scenarios"]
+        assert rows["traced"]["fast"]["digest"] == rows["chaos"]["fast"]["digest"]
+        trace = rows["traced"]["fast"]["trace"]
+        assert trace["events"] > 0
+        assert trace["dropped"] == 0
+        assert payload["trace_overhead"] > 0.0
+
+
+def _payload(digest, quick=True, seed=0, mesh=(4, 4), cycles=6_000):
+    return {
+        "quick": quick,
+        "seed": seed,
+        "mesh": list(mesh),
+        "scenarios": {"chaos": {"cycles": cycles, "fast": {"digest": digest}}},
+    }
+
+
+class TestCheckDigests:
+    def test_flags_drift_at_matching_point(self):
+        baseline = _payload({"packets_delivered": 10})
+        baseline["label"] = "seed"
+        current = _payload({"packets_delivered": 11})
+        failures = check_digests(current, {"entries": [baseline]})
+        assert len(failures) == 1
+        assert "chaos" in failures[0]
+        assert "seed" in failures[0]
+
+    def test_identical_digests_pass(self):
+        digest = {"packets_delivered": 10, "mean_latency": 2.5}
+        entries = {"entries": [_payload(dict(digest))]}
+        assert check_digests(_payload(dict(digest)), entries) == []
+
+    def test_other_measurement_points_are_ignored(self):
+        baseline = _payload({"packets_delivered": 10}, quick=False)
+        current = _payload({"packets_delivered": 11}, quick=True)
+        assert check_digests(current, {"entries": [baseline]}) == []
+
+    def test_different_cycle_counts_are_ignored(self):
+        baseline = _payload({"packets_delivered": 10}, cycles=20_000)
+        current = _payload({"packets_delivered": 11}, cycles=6_000)
+        assert check_digests(current, {"entries": [baseline]}) == []
+
+    def test_entries_without_scenarios_are_skipped(self):
+        entry = {"quick": True, "seed": 0, "mesh": [4, 4], "label": "seed-era"}
+        current = _payload({"packets_delivered": 11})
+        assert check_digests(current, {"entries": [entry]}) == []
+
+
+def _injector_setup(registry=None, error_scale=1.0):
+    net = Network(MeshTopology(4, 4), rng=random.Random(0))
+    varius = VariusModel(4, 4, seed=2)
+    return FaultInjector(net, varius, error_scale=error_scale, registry=registry)
+
+
+class TestTallyMigration:
+    def test_injector_saturation_lands_in_shared_registry(self):
+        registry = MetricRegistry()
+        injector = _injector_setup(registry=registry, error_scale=1e9)
+        with pytest.warns(RuntimeWarning, match="saturated"):
+            injector.refresh([100.0] * 16)
+        assert injector.saturation_events > 0
+        assert (
+            registry.counter("injector.saturation_events").value
+            == injector.saturation_events
+        )
+
+    def test_injector_without_registry_keeps_private_counter(self):
+        injector = _injector_setup(error_scale=1e9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            injector.refresh([100.0] * 16)
+        assert injector.saturation_events > 0
+
+    def test_registry_reset_clears_migrated_tallies(self):
+        registry = MetricRegistry()
+        injector = _injector_setup(registry=registry, error_scale=1e9)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            injector.refresh([100.0] * 16)
+        registry.reset()
+        assert injector.saturation_events == 0
+
+    def test_compute_reward_counts_into_both_guard_and_counter(self):
+        registry = MetricRegistry()
+        counter = registry.counter("reward.guard_clamps")
+        REWARD_GUARD.reset()
+        reward = compute_reward(float("nan"), float("inf"), counter=counter)
+        assert reward == compute_reward(1.0, 1e-6)
+        assert counter.value == 2
+        assert REWARD_GUARD.events == 2
+        REWARD_GUARD.reset()
+
+    def test_fresh_simulator_registry_starts_clean(self):
+        from repro.sim import Simulator, default_design_factories
+
+        config = scaled_config(width=3, height=3, epoch_cycles=100)
+        policy = default_design_factories(0)["rl"]()
+        sim = Simulator(config, policy, seed=0)
+        counters = sim.metrics.snapshot()["counters"]
+        assert counters["reward.guard_clamps"] == 0
+        assert counters["injector.saturation_events"] == 0

@@ -230,3 +230,107 @@ class TestSweepEndToEnd:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "rate" in out and "latency" in out and "throughput" in out
+
+
+class TestObservabilityCli:
+    """--trace/--metrics flags and the ``trace`` inspection subcommand."""
+
+    def _run_argv(self, tmp_path, extra=()):
+        return [
+            "run", "--design", "rl", "--benchmark", "swaptions",
+            "--width", "3", "--height", "3",
+            "--epoch", "100", "--pretrain", "1200",
+            "--warmup", "200", "--trace-cycles", "300",
+            "--fault-spec", "router@800:4",
+            "--trace", str(tmp_path / "run.jsonl"),
+            *extra,
+        ]
+
+    def test_run_exports_trace_and_metrics(self, capsys, tmp_path):
+        argv = self._run_argv(
+            tmp_path, ["--metrics", str(tmp_path / "m.csv"), "--json"]
+        )
+        assert main(argv) == 0
+        out, err = capsys.readouterr()
+        assert json.loads(out)["design"] == "rl"
+        assert "event(s)" in err
+
+        from repro.obs import read_trace_jsonl
+
+        events = read_trace_jsonl(str(tmp_path / "run.jsonl"))
+        categories = {ev.category for ev in events}
+        assert {"mode", "rl", "fault"} <= categories
+        header = (tmp_path / "m.csv").read_text().splitlines()[0]
+        assert header.startswith("cycle,")
+        assert "net.packets_delivered" in header
+
+    def test_trace_filter_requires_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="--trace-filter requires --trace"):
+            main([
+                "run", "--design", "crc", "--benchmark", "swaptions",
+                "--trace-filter", "mode",
+            ])
+
+    def test_trace_filter_rejects_unknown_category(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown trace categories"):
+            main(self._run_argv(tmp_path, ["--trace-filter", "bogus"]))
+
+    def test_trace_subcommand_summarizes(self, capsys, tmp_path):
+        assert main(self._run_argv(tmp_path, ["--json"])) == 0
+        capsys.readouterr()
+        trace_file = str(tmp_path / "run.jsonl")
+
+        assert main(["trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "event(s)" in out and "digest" in out
+
+        assert main(["trace", trace_file, "--digest"]) == 0
+        digest = capsys.readouterr().out.strip()
+        assert len(digest) == 64
+
+        assert main(["trace", trace_file, "--tail", "3", "--filter", "mode"]) == 0
+        tail = capsys.readouterr().out
+        assert "mode/transition" in tail
+
+        assert main(["trace", trace_file, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all(row["category"] in (
+            "mode", "rl", "fault", "watchdog", "reward", "retx", "checkpoint"
+        ) for row in rows)
+
+    def test_trace_subcommand_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["trace", str(tmp_path / "absent.jsonl")])
+
+    def _chaos_argv(self, tmp_path, extra=()):
+        return [
+            "chaos", "--routings", "adaptive",
+            "--fault-specs", "link@200:5E",
+            "--width", "4", "--height", "4",
+            "--rate", "0.05", "--span", "800",
+            "--cache-dir", str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_chaos_trace_single_point(self, capsys, tmp_path):
+        trace_file = tmp_path / "chaos.jsonl"
+        argv = self._chaos_argv(tmp_path, ["--trace", str(trace_file), "--json"])
+        assert main(argv) == 0
+        out, err = capsys.readouterr()
+        assert "traced; cache bypassed" in err
+        payload = json.loads(out)
+        assert payload[0]["link_kills"] == 1
+
+        from repro.obs import read_trace_jsonl
+
+        kinds = {f"{ev.category}/{ev.kind}" for ev in read_trace_jsonl(str(trace_file))}
+        assert "fault/link_kill" in kinds
+        assert "watchdog/check" in kinds
+
+    def test_chaos_trace_rejects_grids(self, tmp_path):
+        argv = self._chaos_argv(
+            tmp_path,
+            ["--routings", "xy,adaptive", "--trace", str(tmp_path / "t.jsonl")],
+        )
+        with pytest.raises(SystemExit, match="single-point"):
+            main(argv)
