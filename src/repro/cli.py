@@ -20,6 +20,11 @@ Six subcommands:
     Graceful-degradation campaigns: routing policies crossed with
     hard-fault schedules (link/router kills, error bursts), reporting
     delivered fraction, reroutes, drops, and post-fault latency.
+    With ``--sensor-spec`` the campaign instead targets the *control
+    plane*: full closed-loop designs run under corrupted telemetry
+    (stuck-at, dropout, noise, staleness) and report what the hardened
+    observation path absorbed (rejects, holds, quarantines, debounced
+    switches) alongside delivered fraction.
 ``bench``
     Kernel throughput benchmark (fast vs naive cycle kernel) over the
     idle/saturated/chaos/traced scenarios; ``--check BENCH_kernel.json``
@@ -50,6 +55,8 @@ Examples::
     python -m repro.cli chaos --routings xy,adaptive --fault-specs 'link@500:5E'
     python -m repro.cli run --design rl --fault-spec 'router@20000:5' --trace run.jsonl
     python -m repro.cli chaos --routings adaptive --trace chaos.jsonl
+    python -m repro.cli chaos --sensor-spec 'drop@0.2:util;stuck@r5.temp=0.9'
+    python -m repro.cli run --design rl --sensor-spec 'noise@0.05:nack' --hysteresis 2
     python -m repro.cli trace run.jsonl --tail 10
 """
 
@@ -74,7 +81,7 @@ from repro.sim import (
     stderr_progress,
     synthesize_benchmark_trace,
 )
-from repro.faults import parse_fault_spec
+from repro.faults import parse_fault_spec, parse_sensor_spec
 from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.obs import (
     CATEGORIES as TRACE_CATEGORIES,
@@ -94,7 +101,12 @@ from repro.sim.bench import (
     run_bench,
 )
 from repro.sim.checkpoint import CheckpointError, ResumableRun, read_checkpoint_meta
-from repro.sim.sweep import DEFAULT_CACHE_DIR, _eval_chaos, _payload_to_result
+from repro.sim.sweep import (
+    DEFAULT_CACHE_DIR,
+    _eval_chaos,
+    _eval_sensor_chaos,
+    _payload_to_result,
+)
 from repro.traffic import PARSEC_PROFILES
 
 __all__ = ["main", "build_parser", "make_policy"]
@@ -116,6 +128,18 @@ def make_policy(design: str, seed: int = 0):
         ) from None
 
 
+def _validate_spec(spec: str, parser_fn, flag: str) -> None:
+    """Fail fast on a malformed fault/sensor spec: one line naming the
+    bad clause via SystemExit, never a traceback.  Shared by every
+    subcommand that accepts either grammar."""
+    if not spec:
+        return
+    try:
+        parser_fn(spec)
+    except ValueError as exc:
+        raise SystemExit(f"{flag}: {exc}") from None
+
+
 def _config_from_args(args) -> "SimulationConfig":
     return scaled_config(
         width=args.width,
@@ -124,6 +148,9 @@ def _config_from_args(args) -> "SimulationConfig":
         pretrain_cycles=args.pretrain,
         warmup_cycles=args.warmup,
         fault_spec=getattr(args, "fault_spec", "") or "",
+        sensor_spec=getattr(args, "sensor_spec", "") or "",
+        sensor_defenses=not getattr(args, "no_sensor_defenses", False),
+        mode_hysteresis_epochs=getattr(args, "hysteresis", 0) or 0,
     )
 
 
@@ -158,6 +185,20 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--retries", type=int, default=2,
         help="relaunches per failing point before quarantine (default: %(default)s)",
+    )
+
+
+def _add_sensor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sensor-spec", default="", metavar="SPEC",
+        help="telemetry corruption applied to the observation path, e.g. "
+        "'drop@0.2:util;stuck@r5.temp=0.9;noise@0.05:nack;stale@r7+400:8' "
+        "('' = clean sensors)",
+    )
+    parser.add_argument(
+        "--hysteresis", type=int, default=0, metavar="EPOCHS",
+        help="minimum epochs between mode switches per router "
+        "(0 = switch freely; debounces noise-driven flapping)",
     )
 
 
@@ -263,6 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard-fault campaign applied during the run, e.g. "
         "'router@20000:5' ('' = healthy platform)",
     )
+    _add_sensor_args(run)
+    run.add_argument(
+        "--no-sensor-defenses", action="store_true",
+        help="disable the hardened observation path (raw corrupted "
+        "telemetry reaches the control policy; may crash on dropout)",
+    )
     _add_platform_args(run)
     _add_trace_args(run)
 
@@ -303,16 +350,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_args(sweep)
 
     chaos = sub.add_parser(
-        "chaos", help="routing policies under hard-fault campaigns"
+        "chaos", help="routing policies under hard-fault campaigns "
+        "(or, with --sensor-spec, control designs under corrupted telemetry)"
     )
     chaos.add_argument(
         "--routings", default="xy,adaptive",
         help=f"comma-separated routing policies ({', '.join(sorted(ROUTING_FUNCTIONS))})",
     )
     chaos.add_argument(
-        "--fault-specs", default="link@500:5E",
+        "--fault-specs", default=None,
         help="'|'-separated campaign specs, e.g. "
-        "'link@500:5E|router@800:7;burst@300+200:0.2' ('' = healthy baseline)",
+        "'link@500:5E|router@800:7;burst@300+200:0.2' ('' = healthy "
+        "baseline; default: link@500:5E, or '' when --sensor-spec is given)",
+    )
+    chaos.add_argument(
+        "--designs", default="rl",
+        help="comma-separated control designs for --sensor-spec campaigns "
+        f"({', '.join(DESIGN_ORDER)})",
+    )
+    _add_sensor_args(chaos)
+    chaos.add_argument(
+        "--no-sensor-defenses", action="store_true",
+        help="run the sensor campaign without the hardened observation path",
     )
     chaos.add_argument(
         "--rate", type=float, default=0.1,
@@ -418,11 +477,8 @@ def _print_profile(profiler, network) -> None:
 
 def cmd_run(args) -> int:
     _check_benchmark(args.benchmark)
-    if args.fault_spec:
-        try:
-            parse_fault_spec(args.fault_spec)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from None
+    _validate_spec(args.fault_spec, parse_fault_spec, "--fault-spec")
+    _validate_spec(args.sensor_spec, parse_sensor_spec, "--sensor-spec")
     config = _config_from_args(args)
     tracer = _make_tracer(args)
     profiler = None
@@ -591,6 +647,8 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    if args.sensor_spec:
+        return _cmd_sensor_chaos(args)
     config = _config_from_args(args)
     routings = tuple(r.strip() for r in args.routings.split(",") if r.strip())
     if not routings:
@@ -601,12 +659,10 @@ def cmd_chaos(args) -> int:
                 f"unknown routing {routing!r}; pick one of "
                 f"{', '.join(sorted(ROUTING_FUNCTIONS))}"
             )
-    fault_specs = tuple(s.strip() for s in args.fault_specs.split("|"))
+    raw_specs = "link@500:5E" if args.fault_specs is None else args.fault_specs
+    fault_specs = tuple(s.strip() for s in raw_specs.split("|"))
     for fault_spec in fault_specs:
-        try:
-            parse_fault_spec(fault_spec)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from None
+        _validate_spec(fault_spec, parse_fault_spec, "--fault-specs")
     spec = SweepSpec(
         config=config,
         kind="chaos",
@@ -674,6 +730,93 @@ def cmd_chaos(args) -> int:
             f"{c['routing']:>9s} {spec_text:>28s} {c['delivered_fraction']:>10.3f} "
             f"{c['messages_dropped']:>8d} {c['reroutes']:>9d} "
             f"{c['post_fault_latency']:>9.1f}  {status}"
+        )
+    return worst
+
+
+def _cmd_sensor_chaos(args) -> int:
+    """``chaos --sensor-spec``: closed-loop control designs driven
+    through the full Simulator while their telemetry is corrupted."""
+    _validate_spec(args.sensor_spec, parse_sensor_spec, "--sensor-spec")
+    config = _config_from_args(args)
+    designs = tuple(d.strip() for d in args.designs.split(",") if d.strip())
+    if not designs:
+        raise SystemExit("no control designs given")
+    for design in designs:
+        if design not in DESIGN_ORDER:
+            raise SystemExit(
+                f"unknown design {design!r}; pick one of {', '.join(DESIGN_ORDER)}"
+            )
+    # A sensor campaign defaults to a hard-fault-free platform so the
+    # telemetry corruption is the only stressor under test.
+    raw_specs = "" if args.fault_specs is None else args.fault_specs
+    fault_specs = tuple(s.strip() for s in raw_specs.split("|"))
+    for fault_spec in fault_specs:
+        _validate_spec(fault_spec, parse_fault_spec, "--fault-specs")
+    spec = SweepSpec(
+        config=config,
+        kind="sensor_chaos",
+        designs=designs,
+        traffics=("uniform",),
+        seeds=(args.seed,),
+        rates=(args.rate,),
+        fault_specs=fault_specs,
+        sensor_specs=(args.sensor_spec,),
+        cycles=args.span,
+    )
+    tracer = _make_tracer(args)
+    if tracer is not None:
+        points = spec.expand()
+        if len(points) != 1:
+            raise SystemExit(
+                "chaos --trace requires a single-point grid "
+                "(one design, one fault spec, one seed)"
+            )
+        payload = _eval_sensor_chaos(config, points[0], tracer=tracer)
+        results = [_payload_to_result(points[0], payload, cached=False)]
+        succeeded = True
+        print(
+            "[chaos] 1 sensor point simulated in-process (traced; cache bypassed)",
+            file=sys.stderr,
+        )
+        _export_observability(args, tracer, None)
+    else:
+        runner = _make_runner(spec, args)
+        results = runner.run()
+        print(
+            f"[chaos] {runner.executed} sensor point(s) simulated, "
+            f"{runner.report.from_cache} from cache",
+            file=sys.stderr,
+        )
+        _print_quarantine(runner)
+        succeeded = runner.report.succeeded
+    if args.json:
+        print(json.dumps(
+            [None if p is None else p.sensor for p in results], indent=2
+        ))
+        return 0 if succeeded else 1
+    print(
+        f"{'design':>7s} {'sensor spec':>36s} {'delivered':>10s} {'rejected':>9s} "
+        f"{'holds':>6s} {'quar':>5s} {'switches':>9s}  status"
+    )
+    worst = 0 if succeeded else 1
+    for point, p in zip(spec.expand(), results):
+        if p is None:
+            print(
+                f"{point.design:>7s} {point.sensor_spec:>36s} {'-':>10s} "
+                f"{'-':>9s} {'-':>6s} {'-':>5s} {'-':>9s}  quarantined"
+            )
+            continue
+        s = p.sensor
+        diagnosis = s.get("diagnosis")
+        status = diagnosis["error"] if diagnosis else "ok"
+        if diagnosis:
+            worst = 1
+        print(
+            f"{s['design']:>7s} {s['sensor_spec']:>36s} "
+            f"{s['delivered_fraction']:>10.3f} "
+            f"{s['rejected_observations']:>9d} {s['sensor_holds']:>6d} "
+            f"{len(s['quarantined_routers']):>5d} {s['mode_switches']:>9d}  {status}"
         )
     return worst
 
@@ -805,6 +948,18 @@ def cmd_trace(args) -> int:
     print(f"{len(events)} event(s), {span}")
     for key in sorted(by_kind):
         print(f"  {key:28s} {by_kind[key]}")
+    safe_entries = (
+        by_kind.get("watchdog/safe_mode", 0) + by_kind.get("sensor/quarantine", 0)
+    )
+    rejects = by_kind.get("sensor/reject", 0)
+    debounced = by_kind.get("sensor/debounce", 0)
+    if safe_entries or rejects or debounced:
+        print(
+            f"degradation: {safe_entries} safe-mode entr"
+            f"{'y' if safe_entries == 1 else 'ies'}, "
+            f"{rejects} rejected observation(s), "
+            f"{debounced} debounced switch(es)"
+        )
     print(f"digest {trace_digest(events)}")
     if args.tail > 0:
         print()

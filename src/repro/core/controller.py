@@ -20,13 +20,25 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.modes import OperationMode
-from repro.core.state import RouterObservation
+from repro.core.state import (
+    NUM_PORTS,
+    DiscretizationConfig,
+    RouterObservation,
+    discretize_observation,
+)
 from repro.power.orion import DesignPowerProfile
 
-__all__ = ["ControlPolicy", "RewardGuard", "REWARD_GUARD", "compute_reward"]
+__all__ = [
+    "ControlPolicy",
+    "GuardReport",
+    "ObservationGuard",
+    "RewardGuard",
+    "REWARD_GUARD",
+    "compute_reward",
+]
 
 
 class RewardGuard:
@@ -87,6 +99,194 @@ def compute_reward(
     latency = max(mean_latency_cycles, 1.0)
     power = max(power_watts, 1e-6)
     return 1.0 / (latency * power)
+
+
+class GuardReport:
+    """What :meth:`ObservationGuard.inspect` did to one observation."""
+
+    __slots__ = ("holds", "clamps", "defaults", "rejected", "quarantined")
+
+    def __init__(self) -> None:
+        self.holds = 0        # fields repaired from the last good reading
+        self.clamps = 0       # finite but out-of-range fields clamped
+        self.defaults = 0     # fields with no recent good reading, zeroed
+        self.rejected = False  # any field was invalid this epoch
+        self.quarantined = False  # this inspect crossed the escalation bar
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.holds or self.clamps or self.defaults)
+
+
+class ObservationGuard:
+    """Consumer-side hardening of the telemetry -> policy path.
+
+    Sits between :func:`repro.core.state.observe_router` and
+    ``ControlPolicy.select``/``learn`` and enforces, per router:
+
+    * **validation** — every Table I field must be present (not ``None``)
+      and finite; invalid fields mark the observation *rejected*;
+    * **last-good hold** — a rejected field is repaired from the last
+      valid reading if one was seen within ``hold_ttl`` epochs,
+      otherwise replaced by a conservative default (idle counters,
+      ambient temperature);
+    * **range clamping** — finite but out-of-range values (negative
+      utilization, NACK rate above 1, absurd temperatures) are clamped
+      and tallied instead of flowing into discretization;
+    * **quarantine** — ``quarantine_after`` *consecutive* rejected
+      observations escalate the router into the safe-mode fallback
+      (the caller routes this to ``ControlPolicy.enter_safe_mode``).
+
+    A healthy observation passes through untouched — the guard touches
+    no RNG and only re-discretizes when it actually repaired something,
+    so golden trace digests of fault-free runs are unchanged.  All
+    state (last-good store, reject streaks, quarantine set) pickles
+    with the simulator, keeping resumed runs bit-identical.
+    """
+
+    #: (attribute, kind) pairs; kind selects validation + clamp rules
+    _FIELDS: Tuple[Tuple[str, str], ...] = (
+        ("occupied_vcs", "buf"),
+        ("input_utilization", "util"),
+        ("output_utilization", "util"),
+        ("input_nack_rate", "nack"),
+        ("output_nack_rate", "nack"),
+        ("temperature", "temp"),
+    )
+    #: physically plausible ceiling for an on-die temperature reading
+    MAX_TEMPERATURE = 250.0
+
+    def __init__(
+        self,
+        num_routers: int,
+        state_config: Optional[DiscretizationConfig] = None,
+        compact: bool = True,
+        include_mode: bool = True,
+        hold_ttl: int = 3,
+        quarantine_after: int = 8,
+        default_temperature: float = 45.0,
+    ) -> None:
+        if num_routers <= 0:
+            raise ValueError("need at least one router")
+        if hold_ttl < 1:
+            raise ValueError("hold_ttl must be at least one epoch")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1")
+        self.state_config = state_config or DiscretizationConfig()
+        self.compact = compact
+        self.include_mode = include_mode
+        self.hold_ttl = hold_ttl
+        self.quarantine_after = quarantine_after
+        self.default_temperature = default_temperature
+        #: per router: attribute -> (epoch_seen, value) of last valid reading
+        self._last_good: List[Dict[str, Tuple[int, object]]] = [
+            {} for _ in range(num_routers)
+        ]
+        #: consecutive rejected observations per router
+        self._streak: List[int] = [0] * num_routers
+        self.quarantined: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _valid_list(value: object) -> bool:
+        if not isinstance(value, list) or len(value) != NUM_PORTS:
+            return False
+        try:
+            return all(math.isfinite(el) for el in value)
+        except TypeError:
+            return False
+
+    @staticmethod
+    def _valid_scalar(value: object) -> bool:
+        return isinstance(value, (int, float)) and math.isfinite(value)
+
+    def _default_for(self, attr: str, kind: str) -> object:
+        if kind == "temp":
+            return self.default_temperature
+        if kind == "buf":
+            return [0] * NUM_PORTS
+        return [0.0] * NUM_PORTS
+
+    def _clamp(self, kind: str, value: object) -> Tuple[object, int]:
+        """Clamp a *valid* field into its physical range; returns
+        (possibly-new value, number of elements clamped)."""
+        if kind == "temp":
+            clamped = min(max(value, 0.0), self.MAX_TEMPERATURE)
+            return clamped, int(clamped != value)
+        if kind == "buf":
+            lo, hi = 0, self.state_config.num_vcs
+        elif kind == "nack":
+            lo, hi = 0.0, 1.0
+        else:  # util: non-negative, no hard ceiling (binning saturates)
+            lo, hi = 0.0, None
+        out = None
+        hits = 0
+        for i, el in enumerate(value):
+            fixed = lo if el < lo else (hi if (hi is not None and el > hi) else el)
+            if fixed != el:
+                if out is None:
+                    out = list(value)
+                out[i] = fixed
+                hits += 1
+        return (out if out is not None else value), hits
+
+    def inspect(
+        self,
+        router_id: int,
+        mode: int,
+        obs: RouterObservation,
+        epoch_index: int,
+    ) -> GuardReport:
+        """Validate/repair one observation in place; returns the report.
+
+        Must be called once per router per epoch so the reject streaks
+        and hold TTLs advance correctly.
+        """
+        report = GuardReport()
+        last_good = self._last_good[router_id]
+        for attr, kind in self._FIELDS:
+            value = getattr(obs, attr)
+            valid = self._valid_scalar(value) if kind == "temp" else self._valid_list(value)
+            if not valid:
+                report.rejected = True
+                held = last_good.get(attr)
+                if held is not None and epoch_index - held[0] <= self.hold_ttl:
+                    replacement = held[1]
+                    report.holds += 1
+                else:
+                    replacement = self._default_for(attr, kind)
+                    report.defaults += 1
+                setattr(
+                    obs, attr,
+                    list(replacement) if isinstance(replacement, list) else replacement,
+                )
+                continue
+            clamped, hits = self._clamp(kind, value)
+            if hits:
+                report.clamps += hits
+                setattr(obs, attr, clamped)
+            last_good[attr] = (
+                epoch_index,
+                list(clamped) if isinstance(clamped, list) else clamped,
+            )
+        if report.rejected:
+            self._streak[router_id] += 1
+            if (
+                self._streak[router_id] >= self.quarantine_after
+                and router_id not in self.quarantined
+            ):
+                self.quarantined.add(router_id)
+                report.quarantined = True
+        else:
+            self._streak[router_id] = 0
+        if report.dirty:
+            obs.discrete = discretize_observation(
+                obs,
+                self.state_config,
+                compact=self.compact,
+                mode=mode if self.include_mode else None,
+            )
+        return report
 
 
 class ControlPolicy(abc.ABC):

@@ -120,6 +120,11 @@ class RLControlPolicy(ControlPolicy):
     def select(self, router_id: int, observation: RouterObservation) -> OperationMode:
         if router_id in self.safe_mode_routers:
             return SAFE_MODE
+        if observation is None or not observation.discrete:
+            # A missing or undiscretizable observation (telemetry path
+            # failure upstream of the guard) gets the conservative mode
+            # for one epoch rather than an arbitrary Q-table row.
+            return SAFE_MODE
         action = self._agent(router_id).select_action(observation.discrete)
         return OperationMode(action)
 
@@ -141,6 +146,15 @@ class RLControlPolicy(ControlPolicy):
             # A degraded router is pinned, not learning: its table is
             # gone or suspect, and feeding it transitions taken under
             # forced SAFE_MODE would only bake the degradation in.
+            return
+        if (
+            observation is None
+            or next_observation is None
+            or not observation.discrete
+            or not next_observation.discrete
+        ):
+            # Never learn from a transition whose endpoints are missing:
+            # a corrupted observation must not write into the Q-table.
             return
         self._agent(router_id).update(
             observation.discrete, int(action), reward, next_observation.discrete

@@ -33,10 +33,17 @@ from typing import List, Optional, Tuple
 
 from repro.noc.router import Router
 
-__all__ = ["DiscretizationConfig", "RouterObservation", "observe_router"]
+__all__ = [
+    "NUM_PORTS",
+    "DiscretizationConfig",
+    "RouterObservation",
+    "discretize_observation",
+    "observe_router",
+]
 
 #: Number of router ports (LOCAL + 4 directions).
-_NUM_PORTS = 5
+NUM_PORTS = 5
+_NUM_PORTS = NUM_PORTS
 
 
 @dataclass(frozen=True)
@@ -55,29 +62,44 @@ class DiscretizationConfig:
     num_vcs: int = 4
 
     def utilization_bin(self, value: float) -> int:
-        """Linear-space bin of a link utilization (flits/cycle)."""
-        if value <= 0.0:
+        """Linear-space bin of a link utilization (flits/cycle).
+
+        Total over the full float range: NaN reads as "no signal" (bin
+        0), +inf saturates into the top bin, so a corrupted sensor can
+        never crash discretization (bins unchanged for finite inputs).
+        """
+        if value != value or value <= 0.0:  # NaN or non-positive
             return 0
         fraction = min(value / self.max_link_utilization, 1.0)
         return min(int(fraction * self.utilization_bins), self.utilization_bins - 1)
 
-    def buffer_bin(self, occupied_vcs: int) -> int:
-        """Bin of an occupied-VC count (already near-discrete)."""
-        if occupied_vcs <= 0:
+    def buffer_bin(self, occupied_vcs: float) -> int:
+        """Bin of an occupied-VC count (already near-discrete); total."""
+        if occupied_vcs != occupied_vcs or occupied_vcs <= 0:  # NaN or <= 0
             return 0
+        if occupied_vcs >= self.num_vcs:
+            # Full — or corrupted high (huge finite values would overflow
+            # the scaling multiply, +inf cannot reach math.ceil): top bin.
+            return self.utilization_bins - 1
         scaled = occupied_vcs * (self.utilization_bins - 1) / self.num_vcs
         return min(int(math.ceil(scaled)), self.utilization_bins - 1)
 
     def nack_bin(self, rate: float) -> int:
-        """Log-space bin of a NACK rate in [0, 1]."""
+        """Log-space bin of a NACK rate in [0, 1].
+
+        Already total: every comparison against NaN is False, so NaN
+        (like any rate at or above the last threshold) lands in the top
+        bin, and -inf/0.0 land in bin 0.
+        """
         for i, threshold in enumerate(self.nack_thresholds):
             if rate < threshold:
                 return i
         return len(self.nack_thresholds)
 
     def temperature_bin(self, temperature: float) -> int:
+        """Linear-space bin over ``temperature_range``; total (NaN -> 0)."""
         lo, hi = self.temperature_range
-        if temperature <= lo:
+        if temperature != temperature or temperature <= lo:  # NaN or cold
             return 0
         fraction = min((temperature - lo) / (hi - lo), 1.0)
         return min(int(fraction * self.temperature_bins), self.temperature_bins - 1)
@@ -117,6 +139,42 @@ class RouterObservation:
         )
 
 
+def discretize_observation(
+    obs: RouterObservation,
+    config: DiscretizationConfig,
+    compact: bool = True,
+    mode: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Discretize an observation's raw features into a Q-table key.
+
+    The single binning path shared by :func:`observe_router` (fresh
+    telemetry) and the observation guard (re-binning after a sensor
+    reading was repaired), so both always agree.  ``mode`` appends the
+    router's operation mode when the state encoding includes it.
+    """
+    cfg = config
+    if compact:
+        bins = [
+            cfg.buffer_bin(max(obs.occupied_vcs)),
+            cfg.utilization_bin(sum(obs.input_utilization) / _NUM_PORTS),
+            cfg.utilization_bin(sum(obs.output_utilization) / _NUM_PORTS),
+            cfg.nack_bin(max(obs.input_nack_rate)),
+            cfg.nack_bin(max(obs.output_nack_rate)),
+            cfg.temperature_bin(obs.temperature),
+        ]
+    else:
+        bins = []
+        bins.extend(cfg.buffer_bin(v) for v in obs.occupied_vcs)
+        bins.extend(cfg.utilization_bin(u) for u in obs.input_utilization)
+        bins.extend(cfg.utilization_bin(u) for u in obs.output_utilization)
+        bins.extend(cfg.nack_bin(r) for r in obs.input_nack_rate)
+        bins.extend(cfg.nack_bin(r) for r in obs.output_nack_rate)
+        bins.append(cfg.temperature_bin(obs.temperature))
+    if mode is not None:
+        bins.append(int(mode))
+    return tuple(bins)
+
+
 def observe_router(
     router: Router,
     epoch_cycles: int,
@@ -152,24 +210,7 @@ def observe_router(
         output_nack_rate=epoch.output_nack_rate(),
         temperature=router.temperature,
     )
-    if compact:
-        bins = [
-            cfg.buffer_bin(max(obs.occupied_vcs)),
-            cfg.utilization_bin(sum(obs.input_utilization) / _NUM_PORTS),
-            cfg.utilization_bin(sum(obs.output_utilization) / _NUM_PORTS),
-            cfg.nack_bin(max(obs.input_nack_rate)),
-            cfg.nack_bin(max(obs.output_nack_rate)),
-            cfg.temperature_bin(obs.temperature),
-        ]
-    else:
-        bins = []
-        bins.extend(cfg.buffer_bin(v) for v in obs.occupied_vcs)
-        bins.extend(cfg.utilization_bin(u) for u in obs.input_utilization)
-        bins.extend(cfg.utilization_bin(u) for u in obs.output_utilization)
-        bins.extend(cfg.nack_bin(r) for r in obs.input_nack_rate)
-        bins.extend(cfg.nack_bin(r) for r in obs.output_nack_rate)
-        bins.append(cfg.temperature_bin(obs.temperature))
-    if include_mode:
-        bins.append(int(router.mode))
-    obs.discrete = tuple(bins)
+    obs.discrete = discretize_observation(
+        obs, cfg, compact=compact, mode=int(router.mode) if include_mode else None
+    )
     return obs

@@ -12,6 +12,12 @@ from repro.faults.hardfaults import (
     parse_fault_spec,
 )
 from repro.faults.injector import FaultInjector
+from repro.faults.sensors import (
+    SensorFaultModel,
+    SensorFaultRule,
+    format_sensor_spec,
+    parse_sensor_spec,
+)
 from repro.faults.thermal import ThermalGrid
 from repro.faults.varius import VariusModel, VariusParams, gaussian_tail
 
@@ -20,9 +26,13 @@ __all__ = [
     "HardFaultEvent",
     "HardFaultModel",
     "HardFaultSchedule",
+    "SensorFaultModel",
+    "SensorFaultRule",
     "ThermalGrid",
     "VariusModel",
     "VariusParams",
+    "format_sensor_spec",
     "gaussian_tail",
     "parse_fault_spec",
+    "parse_sensor_spec",
 ]

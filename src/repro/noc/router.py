@@ -154,6 +154,8 @@ class Router:
         self.epoch = RouterEpochStats()
         #: local temperature in degrees C, refreshed by the thermal model
         self.temperature = 50.0
+        #: lifetime count of applied operation-mode changes (flap metric)
+        self.mode_switches = 0
 
         #: observability hooks installed by Network.attach_tracer; the
         #: router has no network back-reference, so it also gets the
@@ -214,16 +216,18 @@ class Router:
         self._apply_mode(mode)
 
     def _apply_mode(self, mode: OperationMode) -> None:
-        if self.tracer is not None and mode != self.mode:
-            self.tracer.emit(
-                self.trace_clock() if self.trace_clock is not None else 0,
-                "mode",
-                "transition",
-                subject=self.id,
-                old=int(self.mode),
-                new=int(mode),
-                deferred=self._pending_mode is not None,
-            )
+        if mode != self.mode:
+            self.mode_switches += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.trace_clock() if self.trace_clock is not None else 0,
+                    "mode",
+                    "transition",
+                    subject=self.id,
+                    old=int(self.mode),
+                    new=int(mode),
+                    deferred=self._pending_mode is not None,
+                )
         self.mode = mode
         self.behaviour = MODE_BEHAVIOUR[mode]
         self._pending_mode = None

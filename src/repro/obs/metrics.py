@@ -191,6 +191,15 @@ class MetricRegistry:
             inst = self._histograms[name] = Histogram(bounds)
         return inst
 
+    def peek(self, name: str) -> float:
+        """Read a counter/gauge value without creating the instrument.
+
+        Lets reports ask "how many sensor rejects?" after a healthy run
+        without polluting its snapshot with zero-valued instruments.
+        """
+        inst = self._counters.get(name) or self._gauges.get(name)
+        return inst.value if inst is not None else 0
+
     def ingest(self, prefix: str, values: Mapping[str, object]) -> None:
         """Absorb a plain mapping of numeric tallies as gauges."""
         for key, value in values.items():

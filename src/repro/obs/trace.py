@@ -40,6 +40,7 @@ CATEGORIES: Tuple[str, ...] = (
     "reward",  # reward-guard clamps of non-finite reward inputs
     "retx",  # end-to-end CRC retransmission requests
     "checkpoint",  # snapshot save/restore markers
+    "sensor",  # telemetry corruption defenses: rejects, quarantines, debounces
 )
 
 _CATEGORY_SET = frozenset(CATEGORIES)

@@ -23,6 +23,14 @@ module measures what that buys, honestly, on three workload shapes:
     observability layer's zero-cost-when-disabled *and* behaviour-
     neutral-when-enabled contract (DESIGN.md §12) — and the reported
     ``trace_overhead`` ratio shows what event capture costs.
+``sensor``
+    The full closed control loop (RL policy + observation guard) under
+    a combined sensor-fault campaign — dropout, stuck-at, noise, and
+    staleness — with mode-switch hysteresis enabled.  Unlike the other
+    scenarios this drives the complete :class:`~repro.sim.simulator.
+    Simulator`, so it proves the degraded-telemetry defenses (DESIGN.md
+    §13) are kernel-identical: corruption draws, holds, and quarantines
+    happen at epoch boundaries only, which both kernels execute alike.
 
 Each scenario runs on both kernels from identical seeds; the two runs
 must agree on a stats digest (the bit-identical contract from
@@ -66,6 +74,9 @@ SCENARIOS: Dict[str, Tuple[int, int]] = {
     # Same cycles as chaos on purpose: run_bench() asserts their stats
     # digests are identical, proving tracing does not perturb the run.
     "traced": (20_000, 6_000),
+    # Measured-window cycles of the closed-loop sensor-fault scenario
+    # (pre-train/warm-up phases are on top and scale with --quick).
+    "sensor": (20_000, 6_000),
 }
 
 #: payload schema version for BENCH_kernel.json
@@ -202,6 +213,80 @@ def _scenario_network(name: str, kernel: str, seed: int, width: int, height: int
     raise ValueError(f"unknown scenario {name!r}; pick one of {', '.join(SCENARIOS)}")
 
 
+#: combined telemetry corruption for the ``sensor`` scenario: dropout,
+#: one wedged temperature sensor, nack-rate noise, and a staleness window
+_SENSOR_BENCH_SPEC = "drop@0.2:util;stuck@r5.temp=0.9;noise@0.05:nack;stale@r2+1500:4"
+
+
+def _run_sensor_scenario(
+    kernel: str, cycles: int, seed: int, width: int, height: int
+) -> Dict[str, object]:
+    """Closed-loop RL control under corrupted telemetry on one kernel.
+
+    The other scenarios drive a bare :class:`Network`; the sensor faults
+    and the observation guard live in the epoch loop, so this one builds
+    the full :class:`Simulator`.  ``cycles`` is the measured injection
+    window; the scaled pre-train and warm-up phases run on top.
+    """
+    from repro.core.rl_policy import RLControlPolicy
+    from repro.sim.config import scaled_config
+    from repro.sim.simulator import Simulator
+    from repro.traffic import SyntheticTraffic
+
+    config = scaled_config(
+        width=width,
+        height=height,
+        epoch_cycles=250,
+        pretrain_cycles=min(6_000, cycles),
+        warmup_cycles=1_000,
+        sensor_spec=_SENSOR_BENCH_SPEC,
+        mode_hysteresis_epochs=2,
+    )
+    policy = RLControlPolicy(share_table=True, seed=seed)
+    sim = Simulator(config, policy, seed=seed, kernel=kernel)
+    start = time.perf_counter()
+    sim.pretrain()
+    policy.freeze()
+    sim.warmup()
+    source = SyntheticTraffic(
+        sim.network.topology,
+        pattern="uniform",
+        injection_rate=0.05,
+        packet_size=config.packet_size,
+        flit_bits=config.flit_bits,
+        rng=random.Random(seed + 97),
+    )
+    sim.run(source, cycles, learn=True)
+    deadline = sim.network.now + config.max_drain_cycles
+    while not sim.network.quiescent and sim.network.now < deadline:
+        sim._cycle()
+        if sim.network.now % config.epoch_cycles == 0:
+            sim._epoch_boundary(learn=True)
+    wall = time.perf_counter() - start
+    executed = sim.network.now
+    digest = _digest(sim.network)
+    # Fold the control-plane defense tallies into the digest: the two
+    # kernels must agree not only on traffic outcomes but on every
+    # injected corruption, rejected observation, and quarantine.
+    digest["sensor"] = {
+        "injected": dict(sim.sensors.injected),
+        "rejected": int(sim.metrics.peek("sensor.rejected_observations")),
+        "holds": int(sim.metrics.peek("sensor.holds")),
+        "clamps": int(sim.metrics.peek("sensor.clamps")),
+        "debounced": int(sim.metrics.peek("sensor.debounced_switches")),
+        "quarantined": sorted(sim.obs_guard.quarantined),
+        "mode_switches": sum(r.mode_switches for r in sim.network.routers),
+    }
+    return {
+        "kernel": sim.network.kernel,
+        "cycles": executed,
+        "wall_seconds": wall,
+        "cycles_per_second": executed / wall if wall > 0 else 0.0,
+        "digest": digest,
+        "activity": sim.network.activity.counters(),
+    }
+
+
 def run_scenario(
     name: str,
     kernel: str,
@@ -211,6 +296,8 @@ def run_scenario(
     height: int = 4,
 ) -> Dict[str, object]:
     """Run one scenario on one kernel; returns timing + digest + counters."""
+    if name == "sensor":
+        return _run_sensor_scenario(kernel, cycles, seed, width, height)
     net = _scenario_network(name, kernel, seed, width, height)
     rng = random.Random(seed + 97)
     start = time.perf_counter()

@@ -80,7 +80,12 @@ CHECKPOINT_MAGIC = b"RNOCCKPT"
 #: outstanding-message counter) and reshaped several slotted hot classes
 #: — version-1 bodies cannot restore into this build, so they are
 #: rejected by the header check instead of failing deep in pickle.
-CHECKPOINT_VERSION = 2
+#: Version 3: the simulator gained the degraded-telemetry control plane
+#: (sensor-fault model countdowns, observation-guard hold/quarantine
+#: state, the epoch index and per-router mode-switch debounce clocks) —
+#: version-2 bodies would restore into a simulator missing those
+#: attributes and die at the first epoch boundary.
+CHECKPOINT_VERSION = 3
 
 _HEADER_LEN = struct.Struct("<I")
 

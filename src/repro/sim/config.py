@@ -74,6 +74,20 @@ class SimulationConfig:
     #: Conservation violations always raise regardless of this flag.
     safe_mode: bool = True
 
+    # Sensor faults / control-plane hardening.  ``sensor_spec`` is the
+    # telemetry-corruption campaign of repro.faults.sensors ("" = healthy
+    # sensor bank).  The defenses sit between observe_router and the
+    # policy: last-good hold within ``sensor_hold_ttl`` epochs, per-router
+    # quarantine into the safe-mode fallback after ``sensor_quarantine_k``
+    # consecutive rejected observations, and mode-switch debouncing that
+    # keeps a router's mode for ``mode_hysteresis_epochs`` epochs after a
+    # switch (0 = off, the behavior-identical default).
+    sensor_spec: str = ""
+    sensor_defenses: bool = True
+    sensor_hold_ttl: int = 3
+    sensor_quarantine_k: int = 8
+    mode_hysteresis_epochs: int = 0
+
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:
             raise ValueError("mesh must be at least 2x2")
@@ -85,6 +99,12 @@ class SimulationConfig:
             raise ValueError(f"unknown routing {self.routing!r}")
         if self.watchdog_interval < 0:
             raise ValueError("watchdog_interval cannot be negative")
+        if self.sensor_hold_ttl < 1:
+            raise ValueError("sensor_hold_ttl must be at least one epoch")
+        if self.sensor_quarantine_k < 1:
+            raise ValueError("sensor_quarantine_k must be at least 1")
+        if self.mode_hysteresis_epochs < 0:
+            raise ValueError("mode_hysteresis_epochs cannot be negative")
 
     @property
     def num_nodes(self) -> int:

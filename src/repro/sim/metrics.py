@@ -99,6 +99,13 @@ class RunResult:
     fault_recoveries: int = 0
     unreachable_drops: int = 0
     post_fault_latency: float = 0.0
+    # Control-plane degradation metrics (defaulted so pre-sensor-fault
+    # payloads still deserialize)
+    safe_mode_entries: int = 0
+    rejected_observations: int = 0
+    sensor_holds: int = 0
+    sensor_clamps: int = 0
+    mode_switches: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +176,11 @@ class RunResult:
             "fault_recoveries": self.fault_recoveries,
             "unreachable_drops": self.unreachable_drops,
             "post_fault_latency": self.post_fault_latency,
+            "safe_mode_entries": self.safe_mode_entries,
+            "rejected_observations": self.rejected_observations,
+            "sensor_holds": self.sensor_holds,
+            "sensor_clamps": self.sensor_clamps,
+            "mode_switches": self.mode_switches,
         }
 
     @classmethod
@@ -207,4 +219,9 @@ class RunResult:
             "fault_recoveries": self.fault_recoveries,
             "unreachable_drops": self.unreachable_drops,
             "post_fault_latency": self.post_fault_latency,
+            "safe_mode_entries": self.safe_mode_entries,
+            "rejected_observations": self.rejected_observations,
+            "sensor_holds": self.sensor_holds,
+            "sensor_clamps": self.sensor_clamps,
+            "mode_switches": self.mode_switches,
         }

@@ -22,11 +22,17 @@ import logging
 import random
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
-from repro.core.controller import ControlPolicy, compute_reward
+from repro.core.controller import ControlPolicy, ObservationGuard, compute_reward
 from repro.core.modes import OperationMode
-from repro.core.state import DiscretizationConfig, RouterObservation, observe_router
+from repro.core.state import (
+    DiscretizationConfig,
+    RouterObservation,
+    discretize_observation,
+    observe_router,
+)
 from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
 from repro.faults.injector import FaultInjector
+from repro.faults.sensors import SensorFaultModel, parse_sensor_spec
 from repro.faults.thermal import ThermalGrid
 from repro.faults.varius import VariusModel
 from repro.noc.network import Network
@@ -121,6 +127,33 @@ class Simulator:
         self.power_model = RouterPowerModel(params)
         self.core_params = core_params if core_params is not None else CorePowerParams()
         self.state_config = DiscretizationConfig(num_vcs=config.num_vcs)
+
+        #: sensor-fault campaign (None when config.sensor_spec is empty)
+        self.sensors: Optional[SensorFaultModel] = None
+        if config.sensor_spec:
+            self.sensors = SensorFaultModel(
+                parse_sensor_spec(config.sensor_spec),
+                topology.num_nodes,
+                seed=seed + 404,
+            )
+        #: consumer-side telemetry hardening (None when defenses are off)
+        self.obs_guard: Optional[ObservationGuard] = None
+        if config.sensor_defenses:
+            self.obs_guard = ObservationGuard(
+                topology.num_nodes,
+                state_config=self.state_config,
+                compact=config.compact_state,
+                include_mode=config.include_mode_in_state,
+                hold_ttl=config.sensor_hold_ttl,
+                quarantine_after=config.sensor_quarantine_k,
+                default_temperature=config.t_ambient,
+            )
+        #: epoch counter for hold TTLs and mode-switch debouncing; rides
+        #: the checkpoint pickle so resumed runs continue the sequence
+        self._epoch_index = 0
+        #: epoch index of each router's last applied mode switch (for
+        #: mode_hysteresis_epochs; the sentinel never debounces the first)
+        self._last_mode_switch: List[int] = [-(1 << 30)] * topology.num_nodes
 
         self.policy.reset(topology.num_nodes)
         self._prev_obs: Optional[List[RouterObservation]] = None
@@ -311,6 +344,11 @@ class Simulator:
 
         default_latency = self._epoch_network_latency()
         error_by_router = self._channel_error_by_router()
+        tracer = self.tracer
+        trace_sensor = tracer is not None and tracer.wants("sensor")
+        m = self.metrics
+        sensors = self.sensors
+        obs_guard = self.obs_guard
         observations = []
         for router in network.routers:
             obs = observe_router(
@@ -321,9 +359,72 @@ class Simulator:
                 config.include_mode_in_state,
             )
             obs.true_error_probability = error_by_router.get(router.id, 0.0)
+            corrupted = False
+            if sensors is not None:
+                events = sensors.corrupt(obs, network.now)
+                if events:
+                    corrupted = True
+                    for kind, _field_name in events:
+                        m.counter("sensor.injected." + kind).inc()
+            if obs_guard is not None:
+                report = obs_guard.inspect(
+                    router.id, int(router.mode), obs, self._epoch_index
+                )
+                if report.holds:
+                    m.counter("sensor.holds").inc(report.holds)
+                if report.clamps:
+                    m.counter("sensor.clamps").inc(report.clamps)
+                if report.defaults:
+                    m.counter("sensor.defaults").inc(report.defaults)
+                if report.rejected:
+                    m.counter("sensor.rejected_observations").inc()
+                    if trace_sensor:
+                        tracer.emit(
+                            network.now,
+                            "sensor",
+                            "reject",
+                            subject=router.id,
+                            holds=report.holds,
+                            defaults=report.defaults,
+                        )
+                if report.quarantined:
+                    m.counter("sensor.quarantines").inc()
+                    reason = (
+                        f"sensor quarantine: {obs_guard.quarantine_after} "
+                        "consecutive rejected observations"
+                    )
+                    if not self.policy.enter_safe_mode(router.id, reason):
+                        self._safe_routers.add(router.id)
+                    logger.warning(
+                        "router %d quarantined at cycle %d: %s",
+                        router.id, network.now, reason,
+                    )
+                    if trace_sensor:
+                        tracer.emit(
+                            network.now, "sensor", "quarantine", subject=router.id
+                        )
+                if corrupted and not report.dirty:
+                    # Surviving corruption (in-range stuck/noisy values the
+                    # guard cannot distinguish from real readings) must
+                    # still reach the policy through the discrete state.
+                    obs.discrete = discretize_observation(
+                        obs,
+                        self.state_config,
+                        compact=config.compact_state,
+                        mode=int(router.mode) if config.include_mode_in_state else None,
+                    )
+            elif corrupted:
+                # Defenses disabled: the controller consumes exactly what
+                # the corrupted sensors report (this may raise — the
+                # hardened path exists precisely to prevent that).
+                obs.discrete = discretize_observation(
+                    obs,
+                    self.state_config,
+                    compact=config.compact_state,
+                    mode=int(router.mode) if config.include_mode_in_state else None,
+                )
             observations.append(obs)
 
-        tracer = self.tracer
         guard = self._reward_guard_counter
         if learn and self._prev_obs is not None:
             for router, obs, prev, action in zip(
@@ -346,6 +447,15 @@ class Simulator:
                 self.policy.learn(router.id, prev, action, reward, obs)
 
         trace_rl = tracer is not None and tracer.wants("rl")
+        hysteresis = config.mode_hysteresis_epochs
+        pinned: set = set()
+        if hysteresis:
+            # Debouncing never delays a degradation: quarantined/safe
+            # routers must reach the conservative mode immediately.
+            pinned |= self._safe_routers
+            pinned |= getattr(self.policy, "safe_mode_routers", set())
+            if obs_guard is not None:
+                pinned |= obs_guard.quarantined
         actions = []
         for router, obs in zip(network.routers, observations):
             if self.forced_mode is not None:
@@ -363,14 +473,37 @@ class Simulator:
                         state=list(obs.discrete),
                         q_values=None if q is None else [float(v) for v in q],
                     )
+                if (
+                    hysteresis
+                    and mode != router.mode
+                    and router.id not in pinned
+                    and self._epoch_index - self._last_mode_switch[router.id]
+                    < hysteresis
+                ):
+                    # Debounce: a fresh switch holds for the hysteresis
+                    # window, so a flapping sensor cannot thrash modes.
+                    m.counter("sensor.debounced_switches").inc()
+                    if trace_sensor:
+                        tracer.emit(
+                            network.now,
+                            "sensor",
+                            "debounce",
+                            subject=router.id,
+                            held=int(router.mode),
+                            wanted=int(mode),
+                        )
+                    mode = router.mode
             if router.id in self._safe_routers:
                 # The policy could not degrade itself; the simulator pins
                 # the router to the conservative mode on its behalf.
                 mode = OperationMode.MODE_3
+            if mode != router.mode:
+                self._last_mode_switch[router.id] = self._epoch_index
             network.set_mode(router.id, mode)
             actions.append(mode)
         self._prev_obs = observations
         self._prev_actions = actions
+        self._epoch_index += 1
 
         if self._measuring:
             self._measured_epochs += 1
@@ -644,4 +777,14 @@ class Simulator:
                 if self.hard_faults is not None
                 else 0.0
             ),
+            safe_mode_entries=int(
+                self.metrics.peek("watchdog.safe_mode_entries")
+                + self.metrics.peek("sensor.quarantines")
+            ),
+            rejected_observations=int(
+                self.metrics.peek("sensor.rejected_observations")
+            ),
+            sensor_holds=int(self.metrics.peek("sensor.holds")),
+            sensor_clamps=int(self.metrics.peek("sensor.clamps")),
+            mode_switches=sum(r.mode_switches for r in self.network.routers),
         )

@@ -114,13 +114,16 @@ __all__ = [
 #: Schema 2: hard-fault campaigns (``chaos`` kind, ``fault_spec`` field).
 #: Schema 3: entries carry a CRC32 over the canonical payload JSON, so a
 #: bit-rotted or hand-mangled entry misses instead of replaying garbage.
-CACHE_SCHEMA = 3
+#: Schema 4: sensor-fault campaigns (``sensor_chaos`` kind,
+#: ``sensor_spec`` point field) — the key now hashes the sensor spec, so
+#: a cached healthy point can never be served for a sensor-faulted one.
+CACHE_SCHEMA = 4
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
 logger = logging.getLogger("repro.sim.sweep")
 
-POINT_KINDS = ("trace", "load", "suite", "mode_error", "chaos")
+POINT_KINDS = ("trace", "load", "suite", "mode_error", "chaos", "sensor_chaos")
 
 MODE_DESIGNS = tuple(f"mode{int(m)}" for m in OperationMode)
 
@@ -151,6 +154,9 @@ class SweepPoint:
     #: hard-fault campaign spec ("" = healthy); part of the cache key, so
     #: identical schedules replay from cache and new ones re-simulate
     fault_spec: str = ""
+    #: sensor-fault campaign spec ("" = healthy telemetry); also part of
+    #: the cache key (schema 4)
+    sensor_spec: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -177,7 +183,7 @@ class SweepPoint:
     def label(self) -> str:
         """Short human-readable identifier used in progress lines."""
         parts = [self.kind, self.design, self.traffic, f"s{self.seed}"]
-        if self.kind in ("load", "chaos") and self.rate:
+        if self.kind in ("load", "chaos", "sensor_chaos") and self.rate:
             parts.append(f"r{self.rate:g}")
         if self.kind == "mode_error":
             parts.append(f"p{self.error_probability:g}")
@@ -185,6 +191,8 @@ class SweepPoint:
             parts.append(f"x{self.error_scale:g}")
         if self.fault_spec:
             parts.append(self.fault_spec)
+        if self.sensor_spec:
+            parts.append(self.sensor_spec)
         return ":".join(parts)
 
 
@@ -205,14 +213,17 @@ class SweepSpec:
     error_scales: Tuple[float, ...] = (1.0,)
     rates: Tuple[float, ...] = (0.0,)
     error_probabilities: Tuple[float, ...] = (0.0,)
-    #: hard-fault campaign axis (chaos kind only; "" = healthy baseline)
+    #: hard-fault campaign axis (chaos kinds only; "" = healthy baseline)
     fault_specs: Tuple[str, ...] = ("",)
+    #: sensor-fault campaign axis (sensor_chaos kind only)
+    sensor_specs: Tuple[str, ...] = ("",)
     cycles: int = 3_000
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
             raise ValueError(f"unknown sweep kind {self.kind!r}")
-        for name in ("designs", "traffics", "seeds", "error_scales", "fault_specs"):
+        for name in ("designs", "traffics", "seeds", "error_scales",
+                     "fault_specs", "sensor_specs"):
             if not getattr(self, name):
                 raise ValueError(f"{name} cannot be empty")
 
@@ -220,32 +231,38 @@ class SweepSpec:
         """The grid's jobs, in deterministic order."""
         points = []
         traffics = (",".join(self.traffics),) if self.kind == "suite" else self.traffics
-        fault_specs = self.fault_specs if self.kind == "chaos" else ("",)
+        fault_specs = (
+            self.fault_specs if self.kind in ("chaos", "sensor_chaos") else ("",)
+        )
+        sensor_specs = self.sensor_specs if self.kind == "sensor_chaos" else ("",)
+        rated = ("load", "chaos", "sensor_chaos")
         for traffic in traffics:
             for scale in self.error_scales:
                 for fault_spec in fault_specs:
-                    for extra in self._extra_axis():
-                        for seed in self.seeds:
-                            for design in self.designs:
-                                points.append(
-                                    SweepPoint(
-                                        kind=self.kind,
-                                        design=design,
-                                        traffic=traffic,
-                                        seed=seed,
-                                        cycles=self.cycles,
-                                        error_scale=scale,
-                                        rate=extra if self.kind in ("load", "chaos") else 0.0,
-                                        error_probability=(
-                                            extra if self.kind == "mode_error" else 0.0
-                                        ),
-                                        fault_spec=fault_spec,
+                    for sensor_spec in sensor_specs:
+                        for extra in self._extra_axis():
+                            for seed in self.seeds:
+                                for design in self.designs:
+                                    points.append(
+                                        SweepPoint(
+                                            kind=self.kind,
+                                            design=design,
+                                            traffic=traffic,
+                                            seed=seed,
+                                            cycles=self.cycles,
+                                            error_scale=scale,
+                                            rate=extra if self.kind in rated else 0.0,
+                                            error_probability=(
+                                                extra if self.kind == "mode_error" else 0.0
+                                            ),
+                                            fault_spec=fault_spec,
+                                            sensor_spec=sensor_spec,
+                                        )
                                     )
-                                )
         return points
 
     def _extra_axis(self) -> Tuple[float, ...]:
-        if self.kind in ("load", "chaos"):
+        if self.kind in ("load", "chaos", "sensor_chaos"):
             return self.rates
         if self.kind == "mode_error":
             return self.error_probabilities
@@ -269,7 +286,8 @@ class SweepSpec:
                 config["error_severity"] = tuple(config["error_severity"])
             config = SimulationConfig(**config)
         for name in ("designs", "traffics", "seeds", "error_scales",
-                     "rates", "error_probabilities", "fault_specs"):
+                     "rates", "error_probabilities", "fault_specs",
+                     "sensor_specs"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         return cls(config=config, **kwargs)
@@ -462,12 +480,96 @@ def _eval_chaos(
     }
 
 
+def _eval_sensor_chaos(
+    config: SimulationConfig, point: SweepPoint, tracer=None
+) -> Dict[str, object]:
+    """Control-plane degradation run: one full closed-loop design under a
+    sensor-fault campaign (and optionally a simultaneous hard-fault
+    campaign via ``fault_spec``) with open-loop synthetic traffic.
+
+    Unlike ``chaos`` (Network-only, no policy), this drives the complete
+    Simulator — the sensor faults corrupt the observation path between
+    ``observe_router`` and the policy, which is the thing under test.
+    Invariant-watchdog trips during the measured window come back as a
+    structured ``diagnosis``; with defenses disabled the corrupted
+    telemetry may crash the policy, which surfaces as an evaluator
+    failure (retry -> quarantine) — exactly the behavior the hardened
+    path exists to prevent.
+    """
+    config = dataclasses.replace(
+        config,
+        error_scale=point.error_scale,
+        fault_spec=point.fault_spec,
+        sensor_spec=point.sensor_spec,
+    )
+    policy = default_design_factories(point.seed)[point.design]()
+    sim = Simulator(config, policy, seed=point.seed, tracer=tracer)
+    if sim.policy.trainable and config.pretrain_cycles > 0:
+        sim.pretrain()
+    sim.policy.freeze()
+    if config.warmup_cycles > 0:
+        sim.warmup()
+    sim.begin_measurement()
+    start = sim.network.now
+    rate = point.rate if point.rate > 0.0 else 0.05
+    source = SyntheticTraffic(
+        sim.network.topology,
+        pattern=point.traffic or "uniform",
+        injection_rate=rate,
+        packet_size=config.packet_size,
+        flit_bits=config.flit_bits,
+        rng=random.Random(point.seed + 7),
+    )
+    diagnosis = None
+    try:
+        sim.run(source, point.cycles, learn=True)
+        deadline = sim.network.now + config.max_drain_cycles
+        while not sim.network.quiescent and sim.network.now < deadline:
+            sim._cycle()
+            if sim.network.now % config.epoch_cycles == 0:
+                sim._epoch_boundary(learn=True)
+    except NoCInvariantError as exc:
+        diagnosis = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "report": exc.report,
+        }
+    result = sim.finish_measurement(point.traffic or "uniform", sim.network.now - start)
+    guard = sim.obs_guard
+    outstanding = sum(ni.outstanding_messages for ni in sim.network.interfaces)
+    return {
+        "sensor_chaos": {
+            "design": point.design,
+            "sensor_spec": point.sensor_spec,
+            "fault_spec": point.fault_spec,
+            "defenses": bool(config.sensor_defenses),
+            "delivered_fraction": result.delivered_fraction,
+            "messages_created": result.messages_created,
+            "packets_delivered": result.packets_delivered,
+            "messages_dropped": result.messages_dropped,
+            "mean_latency": result.mean_latency,
+            "rejected_observations": result.rejected_observations,
+            "sensor_holds": result.sensor_holds,
+            "sensor_clamps": result.sensor_clamps,
+            "sensor_defaults": int(sim.metrics.peek("sensor.defaults")),
+            "debounced_switches": int(sim.metrics.peek("sensor.debounced_switches")),
+            "injected": dict(sim.sensors.injected) if sim.sensors is not None else {},
+            "quarantined_routers": sorted(guard.quarantined) if guard is not None else [],
+            "safe_mode_entries": result.safe_mode_entries,
+            "mode_switches": result.mode_switches,
+            "outstanding": outstanding,
+            "diagnosis": diagnosis,
+        },
+    }
+
+
 _EVALUATORS = {
     "trace": _eval_trace,
     "load": _eval_load,
     "suite": _eval_suite,
     "mode_error": _eval_mode_error,
     "chaos": _eval_chaos,
+    "sensor_chaos": _eval_sensor_chaos,
 }
 
 
@@ -622,6 +724,7 @@ class PointResult:
     load: Optional[Dict[str, float]] = None
     mode_stats: Optional[Dict[str, float]] = None
     chaos: Optional[Dict[str, object]] = None
+    sensor: Optional[Dict[str, object]] = None
 
 
 def _payload_to_result(
@@ -646,6 +749,8 @@ def _payload_to_result(
         result.mode_stats = dict(payload["stats"])
     if payload.get("chaos") is not None:
         result.chaos = dict(payload["chaos"])
+    if payload.get("sensor_chaos") is not None:
+        result.sensor = dict(payload["sensor_chaos"])
     return result
 
 

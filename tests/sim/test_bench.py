@@ -1,0 +1,20 @@
+"""Tests for the kernel bench harness's closed-loop sensor scenario."""
+
+from repro.sim.bench import SCENARIOS, run_bench
+
+
+def test_sensor_scenario_kernel_equivalent_and_faulted():
+    """run_bench itself raises on fast/naive digest divergence; this
+    pins that the digest also carries the defense tallies and that the
+    campaign actually corrupted telemetry on both kernels."""
+    assert "sensor" in SCENARIOS
+    payload = run_bench(quick=True, scenarios=["sensor"])
+    row = payload["scenarios"]["sensor"]
+    digest = row["fast"]["digest"]
+    assert digest == row["naive"]["digest"]
+    sensor = digest["sensor"]
+    assert sensor["injected"]["drop"] > 0
+    assert sensor["injected"]["stuck"] > 0
+    assert sensor["rejected"] > 0
+    assert sensor["holds"] + sensor["clamps"] > 0
+    assert digest["packets_delivered"] > 0

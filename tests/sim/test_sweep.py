@@ -112,6 +112,33 @@ class TestGridExpansion:
         spec = tiny_trace_spec(fault_specs=("", "link@500:5E"))
         assert all(p.fault_spec == "" for p in spec.expand())
 
+    def test_sensor_chaos_expands_sensor_spec_axis(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="sensor_chaos", designs=("rl",),
+            traffics=("uniform",), rates=(0.05,),
+            fault_specs=("",),
+            sensor_specs=("drop@0.2:util", "stuck@r1.temp=0.9"),
+            cycles=400,
+        )
+        points = spec.expand()
+        assert len(points) == 2
+        assert sorted(p.sensor_spec for p in points) == [
+            "drop@0.2:util", "stuck@r1.temp=0.9",
+        ]
+        assert all(p.kind == "sensor_chaos" and p.rate == 0.05 for p in points)
+
+    def test_sensor_specs_ignored_outside_sensor_chaos(self):
+        spec = tiny_trace_spec(sensor_specs=("", "drop@0.2:util"))
+        assert all(p.sensor_spec == "" for p in spec.expand())
+
+    def test_sensor_chaos_takes_control_designs(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="sensor_chaos", designs=("xy",),
+            traffics=("uniform",), sensor_specs=("drop@0.2:util",), cycles=400,
+        )
+        with pytest.raises(ValueError, match="unknown design"):
+            spec.expand()
+
     def test_chaos_rejects_rl_designs(self):
         spec = SweepSpec(
             config=tiny_config(), kind="chaos", designs=("rl",),
@@ -168,6 +195,22 @@ class TestCacheKeys:
         for change in (
             {"fault_spec": "link@500:5E"},
             {"fault_spec": "router@800:7"},
+        ):
+            keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
+        assert len(keys) == 3
+
+    def test_key_sensitive_to_sensor_spec(self):
+        """Schema 4: a cached healthy point must never be served for a
+        sensor-faulted one (or vice versa)."""
+        config = tiny_config()
+        base = SweepPoint(
+            kind="sensor_chaos", design="rl", traffic="uniform", seed=0,
+            cycles=400, rate=0.05,
+        )
+        keys = {point_cache_key(config, base)}
+        for change in (
+            {"sensor_spec": "drop@0.2:util"},
+            {"sensor_spec": "drop@0.2:util;stuck@r1.temp=0.9"},
         ):
             keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
         assert len(keys) == 3

@@ -135,6 +135,65 @@ class TestChaosCommand:
             assert row["delivered_fraction"] == 1.0
 
 
+class TestSensorChaosCommand:
+    def _argv(self, cache_dir, extra=()):
+        return [
+            "chaos", "--sensor-spec", "drop@0.3:util;stuck@r2.temp=0.9",
+            "--hysteresis", "2",
+            "--width", "3", "--height", "3",
+            "--epoch", "100", "--pretrain", "1500", "--warmup", "300",
+            "--rate", "0.05", "--span", "600",
+            "--cache-dir", str(cache_dir),
+            *extra,
+        ]
+
+    def test_rejects_bad_sensor_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad sensor clause 'drop@2:util'"):
+            main(self._argv(tmp_path, ["--sensor-spec", "drop@2:util"]))
+
+    def test_rejects_unknown_design(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown design"):
+            main(self._argv(tmp_path, ["--designs", "fpga"]))
+
+    def test_json_payload(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, ["--json"])) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        row = payload[0]
+        assert row["design"] == "rl"
+        assert row["sensor_spec"] == "drop@0.3:util;stuck@r2.temp=0.9"
+        assert row["defenses"] is True
+        assert row["diagnosis"] is None
+        assert row["delivered_fraction"] >= 0.95
+        assert row["injected"]["drop"] > 0
+        assert row["rejected_observations"] > 0
+
+    def test_text_table(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "sensor spec" in out and "rejected" in out
+        assert "drop@0.3:util" in out and "ok" in out
+
+
+class TestSpecValidation:
+    """Malformed grammars exit with one line naming the bad clause."""
+
+    def test_run_rejects_bad_fault_spec(self):
+        with pytest.raises(SystemExit, match=r"--fault-spec: bad fault clause"):
+            main(["run", "--fault-spec", "link@500:5Q"])
+
+    def test_run_rejects_bad_sensor_spec(self):
+        with pytest.raises(
+            SystemExit, match=r"--sensor-spec: bad sensor clause 'noise@0:nack'"
+        ):
+            main(["run", "--sensor-spec", "noise@0:nack"])
+
+    def test_chaos_names_the_flag(self, tmp_path):
+        with pytest.raises(SystemExit, match=r"--fault-specs: bad fault clause"):
+            main(["chaos", "--fault-specs", "meteor@1:2",
+                  "--cache-dir", str(tmp_path)])
+
+
 class TestBenchCommand:
     _ARGS = ["bench", "--quick", "--scenarios", "saturated", "--width", "3", "--height", "3"]
 
@@ -334,3 +393,28 @@ class TestObservabilityCli:
         )
         with pytest.raises(SystemExit, match="single-point"):
             main(argv)
+
+    def test_sensor_chaos_trace_and_degradation_summary(self, capsys, tmp_path):
+        """Traced sensor campaign emits sensor events; `repro trace`
+        rolls them up into the degradation summary line."""
+        trace_file = tmp_path / "sensor.jsonl"
+        argv = [
+            "chaos", "--sensor-spec", "drop@1.0:all",
+            "--width", "3", "--height", "3",
+            "--epoch", "100", "--pretrain", "1200", "--warmup", "200",
+            "--rate", "0.05", "--span", "500",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace", str(trace_file), "--trace-filter", "sensor", "--json",
+        ]
+        assert main(argv) == 0
+        out, err = capsys.readouterr()
+        assert "traced; cache bypassed" in err
+        payload = json.loads(out)
+        assert payload[0]["rejected_observations"] > 0
+        assert payload[0]["quarantined_routers"] == list(range(9))
+
+        assert main(["trace", str(trace_file)]) == 0
+        summary = capsys.readouterr().out
+        assert "sensor/reject" in summary
+        assert "sensor/quarantine" in summary
+        assert "degradation: 9 safe-mode entries" in summary
