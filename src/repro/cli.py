@@ -25,6 +25,10 @@ Six subcommands:
     (stuck-at, dropout, noise, staleness) and report what the hardened
     observation path absorbed (rejects, holds, quarantines, debounced
     switches) alongside delivered fraction.
+    With ``--soft-error-spec`` the campaign targets the *learning
+    state*: SEUs flip bits in the Q-table SRAM and mode registers, and
+    the report shows what the SECDED scrubber corrected/detected/
+    quarantined (or, with ``--no-ecc``, what the upsets did unopposed).
 ``bench``
     Kernel throughput benchmark (fast vs naive cycle kernel) over the
     idle/saturated/chaos/traced scenarios; ``--check BENCH_kernel.json``
@@ -57,6 +61,8 @@ Examples::
     python -m repro.cli chaos --routings adaptive --trace chaos.jsonl
     python -m repro.cli chaos --sensor-spec 'drop@0.2:util;stuck@r5.temp=0.9'
     python -m repro.cli run --design rl --sensor-spec 'noise@0.05:nack' --hysteresis 2
+    python -m repro.cli chaos --soft-error-spec 'qtable@1e-5;burst@800:4'
+    python -m repro.cli run --design rl --soft-error-spec 'qtable@1e-5' --no-ecc
     python -m repro.cli trace run.jsonl --tail 10
 """
 
@@ -81,7 +87,7 @@ from repro.sim import (
     stderr_progress,
     synthesize_benchmark_trace,
 )
-from repro.faults import parse_fault_spec, parse_sensor_spec
+from repro.faults import parse_fault_spec, parse_sensor_spec, parse_soft_error_spec
 from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.obs import (
     CATEGORIES as TRACE_CATEGORIES,
@@ -105,6 +111,7 @@ from repro.sim.sweep import (
     DEFAULT_CACHE_DIR,
     _eval_chaos,
     _eval_sensor_chaos,
+    _eval_soft_error,
     _payload_to_result,
 )
 from repro.traffic import PARSEC_PROFILES
@@ -151,6 +158,9 @@ def _config_from_args(args) -> "SimulationConfig":
         sensor_spec=getattr(args, "sensor_spec", "") or "",
         sensor_defenses=not getattr(args, "no_sensor_defenses", False),
         mode_hysteresis_epochs=getattr(args, "hysteresis", 0) or 0,
+        soft_error_spec=getattr(args, "soft_error_spec", "") or "",
+        ecc_protect=not getattr(args, "no_ecc", False),
+        scrub_every=getattr(args, "scrub_every", 1),
     )
 
 
@@ -199,6 +209,24 @@ def _add_sensor_args(parser: argparse.ArgumentParser) -> None:
         "--hysteresis", type=int, default=0, metavar="EPOCHS",
         help="minimum epochs between mode switches per router "
         "(0 = switch freely; debounces noise-driven flapping)",
+    )
+
+
+def _add_soft_error_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--soft-error-spec", default="", metavar="SPEC",
+        help="SEU campaign applied to the learning state, e.g. "
+        "'qtable@1e-5;mode@r3+500;burst@800:4' ('' = upset-free SRAM)",
+    )
+    parser.add_argument(
+        "--scrub-every", type=int, default=1, metavar="EPOCHS",
+        help="epochs between ECC scrub passes (0 = never scrub; "
+        "default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-ecc", action="store_true",
+        help="store Q-tables as raw words and mode registers without "
+        "TMR: upsets land directly in the learning state",
     )
 
 
@@ -310,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the hardened observation path (raw corrupted "
         "telemetry reaches the control policy; may crash on dropout)",
     )
+    _add_soft_error_args(run)
     _add_platform_args(run)
     _add_trace_args(run)
 
@@ -351,7 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos", help="routing policies under hard-fault campaigns "
-        "(or, with --sensor-spec, control designs under corrupted telemetry)"
+        "(with --sensor-spec: control designs under corrupted telemetry; "
+        "with --soft-error-spec: designs under SEUs in the learning state)"
     )
     chaos.add_argument(
         "--routings", default="xy,adaptive",
@@ -373,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sensor-defenses", action="store_true",
         help="run the sensor campaign without the hardened observation path",
     )
+    _add_soft_error_args(chaos)
     chaos.add_argument(
         "--rate", type=float, default=0.1,
         help="per-cycle uniform packet injection probability",
@@ -479,6 +510,7 @@ def cmd_run(args) -> int:
     _check_benchmark(args.benchmark)
     _validate_spec(args.fault_spec, parse_fault_spec, "--fault-spec")
     _validate_spec(args.sensor_spec, parse_sensor_spec, "--sensor-spec")
+    _validate_spec(args.soft_error_spec, parse_soft_error_spec, "--soft-error-spec")
     config = _config_from_args(args)
     tracer = _make_tracer(args)
     profiler = None
@@ -649,6 +681,8 @@ def cmd_sweep(args) -> int:
 def cmd_chaos(args) -> int:
     if args.sensor_spec:
         return _cmd_sensor_chaos(args)
+    if args.soft_error_spec:
+        return _cmd_soft_error_chaos(args)
     config = _config_from_args(args)
     routings = tuple(r.strip() for r in args.routings.split(",") if r.strip())
     if not routings:
@@ -817,6 +851,96 @@ def _cmd_sensor_chaos(args) -> int:
             f"{s['delivered_fraction']:>10.3f} "
             f"{s['rejected_observations']:>9d} {s['sensor_holds']:>6d} "
             f"{len(s['quarantined_routers']):>5d} {s['mode_switches']:>9d}  {status}"
+        )
+    return worst
+
+
+def _cmd_soft_error_chaos(args) -> int:
+    """``chaos --soft-error-spec``: closed-loop control designs driven
+    through the full Simulator while SEUs flip bits in their Q-table
+    SRAM and mode registers."""
+    _validate_spec(args.soft_error_spec, parse_soft_error_spec, "--soft-error-spec")
+    config = _config_from_args(args)
+    designs = tuple(d.strip() for d in args.designs.split(",") if d.strip())
+    if not designs:
+        raise SystemExit("no control designs given")
+    for design in designs:
+        if design not in DESIGN_ORDER:
+            raise SystemExit(
+                f"unknown design {design!r}; pick one of {', '.join(DESIGN_ORDER)}"
+            )
+    # An SEU campaign defaults to a hard-fault-free platform so the
+    # memory upsets are the only stressor under test.
+    raw_specs = "" if args.fault_specs is None else args.fault_specs
+    fault_specs = tuple(s.strip() for s in raw_specs.split("|"))
+    for fault_spec in fault_specs:
+        _validate_spec(fault_spec, parse_fault_spec, "--fault-specs")
+    spec = SweepSpec(
+        config=config,
+        kind="soft_error",
+        designs=designs,
+        traffics=("uniform",),
+        seeds=(args.seed,),
+        rates=(args.rate,),
+        fault_specs=fault_specs,
+        soft_error_specs=(args.soft_error_spec,),
+        cycles=args.span,
+    )
+    tracer = _make_tracer(args)
+    if tracer is not None:
+        points = spec.expand()
+        if len(points) != 1:
+            raise SystemExit(
+                "chaos --trace requires a single-point grid "
+                "(one design, one fault spec, one seed)"
+            )
+        payload = _eval_soft_error(config, points[0], tracer=tracer)
+        results = [_payload_to_result(points[0], payload, cached=False)]
+        succeeded = True
+        print(
+            "[chaos] 1 soft-error point simulated in-process (traced; "
+            "cache bypassed)",
+            file=sys.stderr,
+        )
+        _export_observability(args, tracer, None)
+    else:
+        runner = _make_runner(spec, args)
+        results = runner.run()
+        print(
+            f"[chaos] {runner.executed} soft-error point(s) simulated, "
+            f"{runner.report.from_cache} from cache",
+            file=sys.stderr,
+        )
+        _print_quarantine(runner)
+        succeeded = runner.report.succeeded
+    if args.json:
+        print(json.dumps(
+            [None if p is None else p.soft_error for p in results], indent=2
+        ))
+        return 0 if succeeded else 1
+    print(
+        f"{'design':>7s} {'soft-error spec':>32s} {'ecc':>4s} {'delivered':>10s} "
+        f"{'corr':>5s} {'det':>4s} {'quar':>5s} {'votes':>6s}  status"
+    )
+    worst = 0 if succeeded else 1
+    for point, p in zip(spec.expand(), results):
+        if p is None:
+            print(
+                f"{point.design:>7s} {point.soft_error_spec:>32s} {'-':>4s} "
+                f"{'-':>10s} {'-':>5s} {'-':>4s} {'-':>5s} {'-':>6s}  quarantined"
+            )
+            continue
+        s = p.soft_error
+        diagnosis = s.get("diagnosis")
+        status = diagnosis["error"] if diagnosis else "ok"
+        if diagnosis:
+            worst = 1
+        print(
+            f"{s['design']:>7s} {s['soft_error_spec']:>32s} "
+            f"{'on' if s['ecc'] else 'off':>4s} "
+            f"{s['delivered_fraction']:>10.3f} "
+            f"{s['corrected']:>5d} {s['detected']:>4d} "
+            f"{s['quarantined_rows']:>5d} {s['mode_votes']:>6d}  {status}"
         )
     return worst
 

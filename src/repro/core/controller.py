@@ -343,6 +343,22 @@ class ControlPolicy(abc.ABC):
     # ------------------------------------------------------------------
     # Resilience hooks (checkpoint/resume and graceful degradation)
     # ------------------------------------------------------------------
+    def attach_q_storages(self, ecc: bool = True) -> List[object]:
+        """Back the policy's learned state with fixed-point (optionally
+        SECDED-protected) storages so soft-error campaigns have real SRAM
+        bits to upset.  Policies without learned SRAM state (the static
+        designs, the frozen DT baseline) have nothing to protect and
+        return an empty list.
+        """
+        return []
+
+    def q_storages(self) -> List[object]:
+        """The storages attached by :meth:`attach_q_storages` (or none),
+        in a stable order; the simulator addresses SEUs and schedules
+        scrubs through this list every epoch.
+        """
+        return []
+
     def enter_safe_mode(self, router_id: int, reason: str) -> bool:
         """A runtime invariant tripped (or a loaded table was rejected)
         for ``router_id``.  Policies that can degrade gracefully pin the

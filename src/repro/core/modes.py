@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import List
 
-__all__ = ["OperationMode", "ModeBehaviour", "MODE_BEHAVIOUR"]
+__all__ = ["OperationMode", "ModeBehaviour", "MODE_BEHAVIOUR", "TmrModeBank"]
 
 
 class OperationMode(enum.IntEnum):
@@ -76,6 +77,71 @@ class ModeBehaviour:
         if self.pre_retransmit:
             slots += 1
         return slots
+
+
+class TmrModeBank:
+    """Triple-modular-redundant per-router mode registers.
+
+    The 2-bit mode register drives the router datapath between control
+    epochs, and in SRAM/flop form it takes single-event upsets just like
+    the Q-table (:mod:`repro.faults.softerrors`).  The defended layout
+    keeps three copies per router: the policy's write syncs all three,
+    an upset flips a bit in one copy, and :meth:`read` returns the
+    per-bit majority — so a single upset is outvoted and never reaches
+    the datapath.  :meth:`vote` is the scrub-time resync: it rewrites
+    every copy with the majority value and reports how many copies it
+    repaired.  Only two upsets landing in distinct copies of the same
+    register between scrubs can corrupt the majority.
+
+    Plain lists of ints throughout: the bank pickles inside the
+    simulator and resumes bit-identically.
+    """
+
+    __slots__ = ("copies", "votes", "upsets")
+
+    COPIES = 3
+    REGISTER_BITS = 2
+
+    def __init__(self, num_routers: int, initial: int = 0) -> None:
+        if num_routers <= 0:
+            raise ValueError("need at least one router")
+        self.copies: List[List[int]] = [
+            [int(initial)] * self.COPIES for _ in range(num_routers)
+        ]
+        #: cumulative copies repaired by majority votes
+        self.votes = 0
+        #: cumulative upsets injected into the bank
+        self.upsets = 0
+
+    def write(self, router: int, mode: int) -> None:
+        """Policy write: all three copies latch the commanded mode."""
+        self.copies[router] = [int(mode)] * self.COPIES
+
+    def upset(self, router: int, bit: int, copy: int) -> None:
+        """SEU: flip one bit of one copy."""
+        self.copies[router][copy % self.COPIES] ^= 1 << (bit % self.REGISTER_BITS)
+        self.upsets += 1
+
+    def read(self, router: int) -> int:
+        """Per-bit majority over the three copies (the datapath view)."""
+        regs = self.copies[router]
+        value = 0
+        for bit in range(self.REGISTER_BITS):
+            if sum((reg >> bit) & 1 for reg in regs) >= 2:
+                value |= 1 << bit
+        return value
+
+    def vote(self) -> int:
+        """Resync every register to its majority; returns copies repaired."""
+        repaired = 0
+        for router, regs in enumerate(self.copies):
+            value = self.read(router)
+            for i, reg in enumerate(regs):
+                if reg != value:
+                    regs[i] = value
+                    repaired += 1
+        self.votes += repaired
+        return repaired
 
 
 #: Mode semantics table used by the router datapath.

@@ -19,7 +19,9 @@ import math
 import random
 from typing import Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["AgentStateError", "QLearningAgent"]
+from repro.coding.hamming import DecodeStatus, SecdedCode
+
+__all__ = ["AgentStateError", "QLearningAgent", "QTableStorage"]
 
 State = Hashable
 
@@ -28,6 +30,248 @@ class AgentStateError(ValueError):
     """A serialized Q-table failed validation (NaN/inf values, wrong
     action count, malformed rows).  Callers treat the table as lost and
     fall back to safe-mode control rather than loading poison."""
+
+
+class QTableStorage:
+    """Fixed-point SRAM backing store for one agent's Q-table.
+
+    The paper budgets the Q-table as per-router SRAM, and SRAM takes
+    single-event upsets (:mod:`repro.faults.softerrors`).  This layer
+    models the physical storage so upsets have somewhere real to land:
+    every Q-entry is a signed :attr:`DATA_BITS`-bit fixed-point word
+    (:attr:`FRAC_BITS` fractional bits, saturating), stored either as a
+    SECDED codeword (``ecc=True``, the defended layout — 39 bits per
+    32-bit word via :class:`repro.coding.hamming.SecdedCode`) or as the
+    raw word (``ecc=False``, the ``--no-ecc`` strawman).
+
+    Contract with the owning :class:`QLearningAgent`:
+
+    * The agent's float ``_table`` becomes a decoded *cache* of this
+      store: every write is quantized, encoded, stored, and the
+      quantized value written back to the cache, so the learning loop
+      always sees exactly what the SRAM holds.  Reads stay plain dict
+      lookups — zero overhead on the hot path.
+    * :meth:`flip_bit` (the SEU injection point) corrupts the stored
+      word and refreshes the cache with its *decoded* view: under ECC a
+      single-bit error decodes to the original data (corrected on read,
+      invisible to behaviour, not tallied); without ECC the corrupted
+      word's value lands straight in the cache and drives the policy.
+    * :meth:`scrub` is the periodic repair pass: it re-checks every
+      word flipped since the last scrub (writes always store valid
+      codewords, so only flips can dirty a word — checking the dirty
+      set is outcome-identical to walking the whole memory), corrects
+      and re-encodes single-bit errors, and quarantines rows holding
+      uncorrectable words by re-initializing them to ``q_init`` —
+      the learned row is lost, never silently wrong.
+
+    Everything (words, tallies, dirty set) pickles with the agent, and
+    :meth:`to_state`/:meth:`from_state` carry the codewords verbatim, so
+    checkpointed campaigns resume bit-identically mid-corruption.
+    """
+
+    DATA_BITS = 32
+    FRAC_BITS = 10
+    #: quarantined rows before the owning router should degrade to safe mode
+    QUARANTINE_LIMIT = 4
+
+    _SCALE = 1 << FRAC_BITS
+    _WORD_MAX = (1 << (DATA_BITS - 1)) - 1
+    _WORD_MIN = -(1 << (DATA_BITS - 1))
+
+    def __init__(self, ecc: bool = True) -> None:
+        self.ecc = ecc
+        self.code: Optional[SecdedCode] = SecdedCode(self.DATA_BITS) if ecc else None
+        self.word_bits = self.code.codeword_bits if ecc else self.DATA_BITS
+        self.agent: Optional["QLearningAgent"] = None
+        self.num_actions = 0
+        #: stored words per state row (codewords with ECC, raw without)
+        self._words: Dict[State, List[int]] = {}
+        #: row keys in insertion order, for O(1) global bit addressing
+        self._row_order: List[State] = []
+        #: (state, action) words flipped since the last scrub, in order
+        self._dirty: List[Tuple[State, int]] = []
+        self._dirty_set: set = set()
+        # cumulative tallies (mirrored into the run's metric registry)
+        self.corrected = 0
+        self.detected = 0
+        self.quarantined_rows = 0
+        self.scrubs = 0
+
+    # ------------------------------------------------------------------
+    # fixed-point codec
+    # ------------------------------------------------------------------
+    @classmethod
+    def quantize(cls, value: float) -> float:
+        """Value as actually representable in the fixed-point word."""
+        if math.isnan(value):
+            value = 0.0
+        word = int(round(min(max(value * cls._SCALE, cls._WORD_MIN), cls._WORD_MAX)))
+        return word / cls._SCALE
+
+    def _encode(self, value: float) -> int:
+        word = int(round(min(max(value * self._SCALE, self._WORD_MIN), self._WORD_MAX)))
+        unsigned = word & ((1 << self.DATA_BITS) - 1)
+        return self.code.encode(unsigned) if self.ecc else unsigned
+
+    def _data_value(self, data: int) -> float:
+        if data >= 1 << (self.DATA_BITS - 1):
+            data -= 1 << self.DATA_BITS
+        return data / self._SCALE
+
+    def _decode(self, stored: int) -> float:
+        """Best-effort value of a stored word (the read-path view)."""
+        if not self.ecc:
+            return self._data_value(stored)
+        return self._data_value(self.code.decode(stored).data)
+
+    # ------------------------------------------------------------------
+    # agent-facing writes
+    # ------------------------------------------------------------------
+    def bind(self, agent: "QLearningAgent") -> None:
+        """Adopt an agent: encode its existing rows and take over writes."""
+        self.agent = agent
+        self.num_actions = agent.num_actions
+        for state in list(agent._table):
+            agent._table[state] = self.init_row(state, agent._table[state])
+
+    def init_row(self, state: State, values: List[float]) -> List[float]:
+        """Store a fresh row; returns the quantized cache row."""
+        if state not in self._words:
+            self._row_order.append(state)
+        self._words[state] = [self._encode(v) for v in values]
+        return [self.quantize(v) for v in values]
+
+    def store(self, state: State, action: int, value: float) -> float:
+        """Store one Q-write; returns the quantized value for the cache."""
+        self._words[state][action] = self._encode(value)
+        return self.quantize(value)
+
+    # ------------------------------------------------------------------
+    # SEU injection surface
+    # ------------------------------------------------------------------
+    def bit_count(self) -> int:
+        """Total stored bits, the SEU model's address space."""
+        return len(self._row_order) * self.num_actions * self.word_bits
+
+    def flip_bit(self, index: int) -> Tuple[State, int]:
+        """Flip one stored bit by global index; returns the word's key."""
+        word_index, bit = divmod(index, self.word_bits)
+        row_index, action = divmod(word_index, self.num_actions)
+        state = self._row_order[row_index]
+        self._words[state][action] ^= 1 << bit
+        key = (state, action)
+        if key not in self._dirty_set:
+            self._dirty_set.add(key)
+            self._dirty.append(key)
+        # The cache tracks the (decoded) SRAM contents, corruption included.
+        self.agent._table[state][action] = self._decode(self._words[state][action])
+        return key
+
+    # ------------------------------------------------------------------
+    # scrub pass (the defense)
+    # ------------------------------------------------------------------
+    def scrub(self) -> Dict[str, int]:
+        """Check and repair every word dirtied since the last scrub.
+
+        Single-bit errors are corrected in place and re-encoded;
+        uncorrectable words quarantine their whole row back to
+        ``q_init``.  Returns this pass's tallies; cumulative counts
+        accumulate on the instance.  Without ECC there is nothing to
+        check — the pass only advances the scrub counter.
+        """
+        stats = {"corrected": 0, "detected": 0, "quarantined_rows": 0}
+        self.scrubs += 1
+        if not self.ecc:
+            self._dirty.clear()
+            self._dirty_set.clear()
+            return stats
+        q_init = self.quantize(self.agent.q_init)
+        for state, action in self._dirty:
+            result = self.code.decode(self._words[state][action])
+            if result.status is DecodeStatus.CLEAN:
+                continue
+            if result.status is DecodeStatus.CORRECTED:
+                self._words[state][action] = self.code.encode(result.data)
+                self.agent._table[state][action] = self._data_value(result.data)
+                stats["corrected"] += 1
+                continue
+            # DETECTED: the word is unrecoverable — lose the row loudly.
+            self._words[state] = [self._encode(q_init)] * self.num_actions
+            self.agent._table[state] = [q_init] * self.num_actions
+            stats["detected"] += 1
+            stats["quarantined_rows"] += 1
+        self._dirty.clear()
+        self._dirty_set.clear()
+        self.corrected += stats["corrected"]
+        self.detected += stats["detected"]
+        self.quarantined_rows += stats["quarantined_rows"]
+        return stats
+
+    # ------------------------------------------------------------------
+    # durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """Codewords + tallies, verbatim — resumes mid-corruption."""
+        return {
+            "ecc": self.ecc,
+            "frac_bits": self.FRAC_BITS,
+            "words": {state: list(row) for state, row in self._words.items()},
+            "dirty": list(self._dirty),
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "quarantined_rows": self.quarantined_rows,
+            "scrubs": self.scrubs,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], agent: "QLearningAgent"
+    ) -> "QTableStorage":
+        """Rebuild a storage snapshot and attach it to ``agent``.
+
+        The float cache is recomputed by decoding the stored words, so a
+        snapshot taken mid-corruption (flipped, not yet scrubbed) resumes
+        with the cache bit-identical to the original process.
+        """
+        if int(state.get("frac_bits", cls.FRAC_BITS)) != cls.FRAC_BITS:
+            raise AgentStateError(
+                f"storage fixed-point layout mismatch: snapshot has "
+                f"{state.get('frac_bits')} fractional bits, expected {cls.FRAC_BITS}"
+            )
+        storage = cls(ecc=bool(state.get("ecc", True)))
+        storage.agent = agent
+        storage.num_actions = agent.num_actions
+        words = state.get("words", {})
+        if not isinstance(words, dict):
+            raise AgentStateError("storage words must be a dict of state -> row")
+        limit = 1 << storage.word_bits
+        for key, row in words.items():
+            if not isinstance(row, (list, tuple)) or len(row) != agent.num_actions:
+                raise AgentStateError(f"storage row for state {key!r} is malformed")
+            clean: List[int] = []
+            for word in row:
+                word = int(word)
+                if not 0 <= word < limit:
+                    raise AgentStateError(
+                        f"stored word {word!r} does not fit in {storage.word_bits} bits"
+                    )
+                clean.append(word)
+            storage._words[key] = clean
+            storage._row_order.append(key)
+        for key in state.get("dirty", []):
+            pair = (key[0], int(key[1]))
+            if pair[0] in storage._words and pair not in storage._dirty_set:
+                storage._dirty_set.add(pair)
+                storage._dirty.append(pair)
+        storage.corrected = int(state.get("corrected", 0))
+        storage.detected = int(state.get("detected", 0))
+        storage.quarantined_rows = int(state.get("quarantined_rows", 0))
+        storage.scrubs = int(state.get("scrubs", 0))
+        agent.storage = storage
+        agent._table = {
+            s: [storage._decode(w) for w in row] for s, row in storage._words.items()
+        }
+        return storage
 
 
 class QLearningAgent:
@@ -58,12 +302,22 @@ class QLearningAgent:
         self.rng = rng if rng is not None else random.Random(0)
         self._table: Dict[State, List[float]] = {}
         self.updates = 0
+        #: optional fixed-point/ECC backing store (soft-error campaigns);
+        #: ``None`` keeps the plain float table bit-identical to before
+        self.storage: Optional[QTableStorage] = None
 
     # ------------------------------------------------------------------
+    def attach_storage(self, storage: QTableStorage) -> None:
+        """Back this agent's table with a :class:`QTableStorage`."""
+        self.storage = storage
+        storage.bind(self)
+
     def _row(self, state: State) -> List[float]:
         row = self._table.get(state)
         if row is None:
             row = [self.q_init] * self.num_actions
+            if self.storage is not None:
+                row = self.storage.init_row(state, row)
             self._table[state] = row
         return row
 
@@ -95,9 +349,14 @@ class QLearningAgent:
             raise ValueError(f"action {action} outside the action space")
         row = self._row(state)
         bootstrap = max(self._row(next_state))
-        row[action] = (1.0 - self.alpha) * row[action] + self.alpha * (
+        value = (1.0 - self.alpha) * row[action] + self.alpha * (
             reward + self.gamma * bootstrap
         )
+        if self.storage is not None:
+            # Write-through: the cache keeps exactly what the SRAM holds,
+            # so learning dynamics see the quantized value, not the ideal.
+            value = self.storage.store(state, action, value)
+        row[action] = value
         self.updates += 1
 
     # ------------------------------------------------------------------
@@ -133,7 +392,7 @@ class QLearningAgent:
         ``from_state(to_state())`` resumes action selection and learning
         bit-identically to the original agent.
         """
-        return {
+        state: Dict[str, object] = {
             "num_actions": self.num_actions,
             "alpha": self.alpha,
             "gamma": self.gamma,
@@ -143,6 +402,9 @@ class QLearningAgent:
             "rng_state": self.rng.getstate(),
             "table": {state: list(row) for state, row in self._table.items()},
         }
+        if self.storage is not None:
+            state["storage"] = self.storage.to_state()
+        return state
 
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "QLearningAgent":
@@ -195,4 +457,11 @@ class QLearningAgent:
                 agent.rng.setstate(rng_state)
             except (TypeError, ValueError) as exc:
                 raise AgentStateError(f"invalid RNG state: {exc}") from None
+        storage_state = state.get("storage")
+        if storage_state is not None:
+            if not isinstance(storage_state, dict):
+                raise AgentStateError("storage state must be a dict")
+            # Restores the codewords verbatim and rebuilds the float
+            # cache from them, overriding the validated table copy above.
+            QTableStorage.from_state(storage_state, agent)
         return agent

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.controller import ControlPolicy
 from repro.core.modes import OperationMode
-from repro.core.qlearning import AgentStateError, QLearningAgent
+from repro.core.qlearning import AgentStateError, QLearningAgent, QTableStorage
 from repro.core.state import RouterObservation
 from repro.power.orion import DesignPowerProfile
 
@@ -174,6 +174,26 @@ class RLControlPolicy(ControlPolicy):
         for agent in self._agents:
             seen[id(agent)] = agent
         return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # Soft-error surface: fixed-point/ECC Q-table storage
+    # ------------------------------------------------------------------
+    def attach_q_storages(self, ecc: bool = True) -> List[QTableStorage]:
+        """Back every unique agent's table with a :class:`QTableStorage`.
+
+        Idempotent; call after :meth:`reset`.  With per-router agents the
+        returned list is aligned with router ids; with ``share_table``
+        there is a single storage serving every router.
+        """
+        storages: List[QTableStorage] = []
+        for agent in self._unique_agents():
+            if agent.storage is None:
+                agent.attach_storage(QTableStorage(ecc=ecc))
+            storages.append(agent.storage)
+        return storages
+
+    def q_storages(self) -> List[QTableStorage]:
+        return [a.storage for a in self._unique_agents() if a.storage is not None]
 
     # ------------------------------------------------------------------
     # Resilience: safe-mode degradation and durable state

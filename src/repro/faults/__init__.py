@@ -18,6 +18,12 @@ from repro.faults.sensors import (
     format_sensor_spec,
     parse_sensor_spec,
 )
+from repro.faults.softerrors import (
+    SoftErrorModel,
+    SoftErrorRule,
+    format_soft_error_spec,
+    parse_soft_error_spec,
+)
 from repro.faults.thermal import ThermalGrid
 from repro.faults.varius import VariusModel, VariusParams, gaussian_tail
 
@@ -28,11 +34,15 @@ __all__ = [
     "HardFaultSchedule",
     "SensorFaultModel",
     "SensorFaultRule",
+    "SoftErrorModel",
+    "SoftErrorRule",
     "ThermalGrid",
     "VariusModel",
     "VariusParams",
     "format_sensor_spec",
+    "format_soft_error_spec",
     "gaussian_tail",
     "parse_fault_spec",
     "parse_sensor_spec",
+    "parse_soft_error_spec",
 ]

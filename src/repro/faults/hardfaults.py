@@ -39,6 +39,7 @@ import math
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.specs import format_spec, parse_spec
 from repro.noc.topology import MeshTopology, Port
 
 __all__ = [
@@ -115,44 +116,30 @@ class HardFaultEvent:
         return f"HardFaultEvent({self.format()!r})"
 
 
+def _parse_fault_clause(kind: str, rest: str) -> HardFaultEvent:
+    when, arg = rest.split(":", 1)
+    if kind == "link":
+        letter = arg[-1].upper()
+        if letter not in _PORT_LETTERS:
+            raise ValueError(
+                f"bad port letter {letter!r} (expected one of "
+                f"{''.join(sorted(_PORT_LETTERS))})"
+            )
+        node, port = int(arg[:-1]), _PORT_LETTERS[letter]
+        return HardFaultEvent("link", int(when), node, port)
+    if kind == "router":
+        return HardFaultEvent("router", int(when), int(arg))
+    if kind == "burst":
+        cycle, duration = when.split("+", 1)
+        return HardFaultEvent(
+            "burst", int(cycle), duration=int(duration), probability=float(arg)
+        )
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
 def parse_fault_spec(spec: str) -> List[HardFaultEvent]:
     """Parse a ``;``-separated spec string into events (sorted by cycle)."""
-    events: List[HardFaultEvent] = []
-    for clause in spec.split(";"):
-        clause = clause.strip()
-        if not clause:
-            continue
-        try:
-            head, arg = clause.split(":", 1)
-            kind, when = head.split("@", 1)
-            kind = kind.strip()
-            if kind == "link":
-                letter = arg[-1].upper()
-                if letter not in _PORT_LETTERS:
-                    raise ValueError(
-                        f"bad port letter {letter!r} (expected one of "
-                        f"{''.join(sorted(_PORT_LETTERS))})"
-                    )
-                node, port = int(arg[:-1]), _PORT_LETTERS[letter]
-                events.append(HardFaultEvent("link", int(when), node, port))
-            elif kind == "router":
-                events.append(HardFaultEvent("router", int(when), int(arg)))
-            elif kind == "burst":
-                cycle, duration = when.split("+", 1)
-                events.append(
-                    HardFaultEvent(
-                        "burst",
-                        int(cycle),
-                        duration=int(duration),
-                        probability=float(arg),
-                    )
-                )
-            else:
-                raise ValueError(f"unknown fault kind {kind!r}")
-        except (KeyError, IndexError, ValueError) as exc:
-            raise ValueError(f"bad fault clause {clause!r}: {exc}") from None
-    events.sort(key=HardFaultEvent.sort_key)
-    return events
+    return parse_spec(spec, "fault", _parse_fault_clause, HardFaultEvent.sort_key)
 
 
 class HardFaultSchedule:
@@ -170,7 +157,7 @@ class HardFaultSchedule:
 
     def format(self) -> str:
         """Canonical spec string: ``parse(format())`` round-trips."""
-        return ";".join(e.format() for e in self.events)
+        return format_spec(self.events, HardFaultEvent.sort_key)
 
     def __len__(self) -> int:
         return len(self.events)

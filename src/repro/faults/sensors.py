@@ -49,6 +49,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.specs import format_spec, parse_router_token, parse_spec
+
 __all__ = [
     "SENSOR_FIELDS",
     "SensorFaultRule",
@@ -160,68 +162,44 @@ class SensorFaultRule:
         return f"SensorFaultRule({self.format()!r})"
 
 
-def _router_id(token: str) -> int:
-    token = token.strip()
-    if not token.startswith("r"):
-        raise ValueError(f"router must be written 'r<id>', got {token!r}")
-    return int(token[1:])
+def _parse_sensor_clause(kind: str, rest: str) -> SensorFaultRule:
+    if kind == "stuck":
+        target, value = rest.split("=", 1)
+        router_token, field = target.split(".", 1)
+        return SensorFaultRule(
+            "stuck",
+            router=parse_router_token(router_token),
+            field=field.strip(),
+            value=float(value),
+        )
+    if kind == "drop":
+        probability, field = rest.split(":", 1)
+        return SensorFaultRule(
+            "drop", probability=float(probability), field=field.strip()
+        )
+    if kind == "noise":
+        sigma, field = rest.split(":", 1)
+        return SensorFaultRule("noise", sigma=float(sigma), field=field.strip())
+    if kind == "stale":
+        target, epochs = rest.split(":", 1)
+        router_token, cycle = target.split("+", 1)
+        return SensorFaultRule(
+            "stale",
+            router=parse_router_token(router_token),
+            cycle=int(cycle),
+            epochs=int(epochs),
+        )
+    raise ValueError(f"unknown sensor fault kind {kind!r}")
 
 
 def parse_sensor_spec(spec: str) -> List[SensorFaultRule]:
     """Parse a ``;``-separated spec string into rules (canonical order)."""
-    rules: List[SensorFaultRule] = []
-    for clause in spec.split(";"):
-        clause = clause.strip()
-        if not clause:
-            continue
-        try:
-            kind, rest = clause.split("@", 1)
-            kind = kind.strip()
-            if kind == "stuck":
-                target, value = rest.split("=", 1)
-                router_token, field = target.split(".", 1)
-                rules.append(
-                    SensorFaultRule(
-                        "stuck",
-                        router=_router_id(router_token),
-                        field=field.strip(),
-                        value=float(value),
-                    )
-                )
-            elif kind == "drop":
-                probability, field = rest.split(":", 1)
-                rules.append(
-                    SensorFaultRule(
-                        "drop", probability=float(probability), field=field.strip()
-                    )
-                )
-            elif kind == "noise":
-                sigma, field = rest.split(":", 1)
-                rules.append(
-                    SensorFaultRule("noise", sigma=float(sigma), field=field.strip())
-                )
-            elif kind == "stale":
-                target, epochs = rest.split(":", 1)
-                router_token, cycle = target.split("+", 1)
-                rules.append(
-                    SensorFaultRule(
-                        "stale",
-                        router=_router_id(router_token),
-                        cycle=int(cycle),
-                        epochs=int(epochs),
-                    )
-                )
-            else:
-                raise ValueError(f"unknown sensor fault kind {kind!r}")
-        except (KeyError, IndexError, ValueError) as exc:
-            raise ValueError(f"bad sensor clause {clause!r}: {exc}") from None
-    rules.sort(key=SensorFaultRule.sort_key)
-    return rules
+    return parse_spec(spec, "sensor", _parse_sensor_clause, SensorFaultRule.sort_key)
 
 
 def format_sensor_spec(rules: Sequence[SensorFaultRule]) -> str:
     """Canonical spec string: ``parse(format(rules))`` round-trips."""
-    return ";".join(r.format() for r in sorted(rules, key=SensorFaultRule.sort_key))
+    return format_spec(rules, SensorFaultRule.sort_key)
 
 
 def _snapshot(obs) -> Tuple:

@@ -1,0 +1,82 @@
+"""Shared plumbing for the ``;``-separated fault spec grammars.
+
+Three fault planes (hard faults, sensor faults, soft errors) each expose
+a tiny campaign grammar with the same mechanical shape:
+
+* a spec string is a ``;``-separated list of clauses, each ``kind@rest``;
+* whitespace-only clauses are skipped, so trailing ``;`` is harmless;
+* any malformed clause raises a one-line ``ValueError`` naming the
+  grammar and quoting the offending clause verbatim —
+  ``bad <what> clause '<clause>': <why>`` — which the CLI surfaces
+  unchanged before any simulation work starts;
+* parsed rules/events sort into a canonical order so
+  ``parse(format(...))`` round-trips and equal campaigns compare equal
+  regardless of how the user ordered the clauses.
+
+This module holds that plumbing once; the per-grammar modules
+(:mod:`repro.faults.hardfaults`, :mod:`repro.faults.sensors`,
+:mod:`repro.faults.softerrors`) keep only their kind-specific clause
+handlers and validation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = [
+    "format_spec",
+    "parse_router_token",
+    "parse_spec",
+    "split_clauses",
+]
+
+T = TypeVar("T")
+
+
+def split_clauses(spec: str) -> List[str]:
+    """Split a spec string into stripped, non-empty clauses."""
+    return [clause.strip() for clause in spec.split(";") if clause.strip()]
+
+
+def parse_router_token(token: str) -> int:
+    """Parse an ``r<N>`` router designator (shared by per-router rules)."""
+    token = token.strip()
+    if not token.startswith("r"):
+        raise ValueError(f"router must be written 'r<id>', got {token!r}")
+    return int(token[1:])
+
+
+def parse_spec(
+    spec: str,
+    what: str,
+    parse_clause: Callable[[str, str], T],
+    sort_key: Callable[[T], object],
+) -> List[T]:
+    """Parse a spec string into canonically-sorted items.
+
+    ``parse_clause(kind, rest)`` builds one item from a clause already
+    split at its first ``@``; any ``KeyError``/``IndexError``/
+    ``ValueError`` it (or the split) raises is rewrapped into the
+    one-line ``bad {what} clause ...`` message with the original clause
+    quoted, so every grammar reports errors identically.
+    """
+    items: List[T] = []
+    for clause in split_clauses(spec):
+        try:
+            kind, rest = clause.split("@", 1)
+            items.append(parse_clause(kind.strip(), rest))
+        except (KeyError, IndexError, ValueError) as exc:
+            raise ValueError(f"bad {what} clause {clause!r}: {exc}") from None
+    items.sort(key=sort_key)
+    return items
+
+
+def format_spec(items: Sequence[T], sort_key: Callable[[T], object]) -> str:
+    """Canonical spec string: sorted clauses joined by ``;``.
+
+    Each item must expose a ``format()`` method returning its clause;
+    ``parse_spec(format_spec(items))`` round-trips.
+    """
+    return ";".join(
+        item.format() for item in sorted(items, key=sort_key)  # type: ignore[attr-defined]
+    )

@@ -35,6 +35,8 @@ from repro.obs.trace import (
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.export import (
     metrics_timeline_rows,
+    read_metrics_json,
+    registry_from_snapshot,
     write_metrics_csv,
     write_metrics_json,
 )
@@ -52,6 +54,8 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "metrics_timeline_rows",
+    "read_metrics_json",
+    "registry_from_snapshot",
     "write_metrics_csv",
     "write_metrics_json",
 ]

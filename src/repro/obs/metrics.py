@@ -6,13 +6,40 @@ run-level counters (reward-guard clamps, injector saturations, sweep
 supervision totals) and per-epoch snapshots of derived gauges.  The
 simulator ingests both into one namespace so exports see every tally
 without reaching into module globals.
+
+Non-finite hardening: a NaN or infinity written into an instrument
+(``inc`` / ``set`` / ``record``) is clamped to zero and tallied under
+the lazily-created ``metrics.guard`` counter — mirroring the reward
+guard's clamp-and-count contract — so one poisoned producer cannot turn
+a whole timeline into NaNs, and a healthy run's snapshot stays exactly
+as before (the guard counter only exists once something tripped it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import math
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "DEFAULT_BOUNDS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GUARD_COUNTER",
+    "Histogram",
+    "MetricRegistry",
+    "DEFAULT_BOUNDS",
+]
+
+#: registry counter that tallies clamped non-finite writes
+GUARD_COUNTER = "metrics.guard"
+
+
+def _guard_value(value: float, guard: Optional[Callable[[], None]]) -> float:
+    """Clamp a non-finite write to 0, tallying it via ``guard``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if guard is not None:
+            guard()
+        return 0.0
+    return value
 
 #: Default histogram bucket upper bounds (latency-style, in cycles).
 DEFAULT_BOUNDS: Tuple[float, ...] = (
@@ -30,13 +57,14 @@ DEFAULT_BOUNDS: Tuple[float, ...] = (
 class Counter:
     """Monotonic within a run; reset only between runs."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "guard")
 
-    def __init__(self) -> None:
+    def __init__(self, guard: Optional[Callable[[], None]] = None) -> None:
         self.value = 0
+        self.guard = guard
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        self.value += _guard_value(amount, self.guard)
 
     def reset(self) -> None:
         self.value = 0
@@ -45,13 +73,14 @@ class Counter:
 class Gauge:
     """Last-write-wins scalar."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "guard")
 
-    def __init__(self) -> None:
+    def __init__(self, guard: Optional[Callable[[], None]] = None) -> None:
         self.value = 0.0
+        self.guard = guard
 
     def set(self, value: float) -> None:
-        self.value = value
+        self.value = _guard_value(value, self.guard)
 
     def reset(self) -> None:
         self.value = 0.0
@@ -65,9 +94,13 @@ class Histogram:
     sweep supervisor relies on it when folding worker results together.
     """
 
-    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max", "guard")
 
-    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+    def __init__(
+        self,
+        bounds: Sequence[float] = DEFAULT_BOUNDS,
+        guard: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.bounds: Tuple[float, ...] = tuple(bounds)
         if any(b2 <= b1 for b1, b2 in zip(self.bounds, self.bounds[1:])):
             raise ValueError("histogram bounds must be strictly increasing")
@@ -77,9 +110,11 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.guard = guard
 
     # ------------------------------------------------------------------
     def record(self, value: float) -> None:
+        value = _guard_value(value, self.guard)
         idx = len(self.bounds)
         for i, bound in enumerate(self.bounds):
             if value <= bound:
@@ -171,16 +206,29 @@ class MetricRegistry:
         self.timeline_dropped = 0
 
     # ------------------------------------------------------------------
+    def _guard_event(self) -> None:
+        """One non-finite write was clamped somewhere in this registry.
+
+        The tally counter is created lazily on the first event so a
+        healthy run's snapshot carries no ``metrics.guard`` instrument
+        (it is itself created guard-free — its increments are always 1).
+        """
+        inst = self._counters.get(GUARD_COUNTER)
+        if inst is None:
+            inst = self._counters[GUARD_COUNTER] = Counter()
+        inst.inc()
+
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
-            inst = self._counters[name] = Counter()
+            guard = None if name == GUARD_COUNTER else self._guard_event
+            inst = self._counters[name] = Counter(guard=guard)
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
-            inst = self._gauges[name] = Gauge()
+            inst = self._gauges[name] = Gauge(guard=self._guard_event)
         return inst
 
     def histogram(
@@ -188,7 +236,7 @@ class MetricRegistry:
     ) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(bounds)
+            inst = self._histograms[name] = Histogram(bounds, guard=self._guard_event)
         return inst
 
     def peek(self, name: str) -> float:

@@ -41,6 +41,7 @@ CATEGORIES: Tuple[str, ...] = (
     "retx",  # end-to-end CRC retransmission requests
     "checkpoint",  # snapshot save/restore markers
     "sensor",  # telemetry corruption defenses: rejects, quarantines, debounces
+    "ecc",  # Q-table/mode-register scrubbing: corrections, detections, quarantines
 )
 
 _CATEGORY_SET = frozenset(CATEGORIES)

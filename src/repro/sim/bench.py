@@ -31,6 +31,13 @@ module measures what that buys, honestly, on three workload shapes:
     Simulator`, so it proves the degraded-telemetry defenses (DESIGN.md
     §13) are kernel-identical: corruption draws, holds, and quarantines
     happen at epoch boundaries only, which both kernels execute alike.
+``softerror``
+    The full closed control loop under an SEU campaign flipping bits in
+    the SECDED-protected Q-table SRAM and the TMR'd mode registers
+    (DESIGN.md §14).  Injection and scrubbing happen at epoch
+    boundaries only, so the digest — which folds in every injected
+    flip, correction, detection, and quarantine — must be
+    kernel-identical.
 
 Each scenario runs on both kernels from identical seeds; the two runs
 must agree on a stats digest (the bit-identical contract from
@@ -77,6 +84,9 @@ SCENARIOS: Dict[str, Tuple[int, int]] = {
     # Measured-window cycles of the closed-loop sensor-fault scenario
     # (pre-train/warm-up phases are on top and scale with --quick).
     "sensor": (20_000, 6_000),
+    # Measured-window cycles of the closed-loop soft-error scenario
+    # (same phase structure as sensor).
+    "softerror": (20_000, 6_000),
 }
 
 #: payload schema version for BENCH_kernel.json
@@ -287,6 +297,80 @@ def _run_sensor_scenario(
     }
 
 
+#: combined SEU campaign for the ``softerror`` scenario: a continuous
+#: per-bit upset rate, one mode-register flip, and one multi-bit burst
+_SOFTERROR_BENCH_SPEC = "qtable@2e-5;mode@r3+2000;burst@3000:4"
+
+
+def _run_softerror_scenario(
+    kernel: str, cycles: int, seed: int, width: int, height: int
+) -> Dict[str, object]:
+    """Closed-loop RL control under SEUs in the learning state.
+
+    Like ``sensor``, this drives the full :class:`Simulator`: injection
+    and scrubbing live in the epoch loop, which both kernels execute
+    identically.  The digest folds in the complete ECC ledger so a
+    kernel that diverged in even one flip position fails loudly.
+    """
+    from repro.core.rl_policy import RLControlPolicy
+    from repro.sim.config import scaled_config
+    from repro.sim.simulator import Simulator
+    from repro.traffic import SyntheticTraffic
+
+    config = scaled_config(
+        width=width,
+        height=height,
+        epoch_cycles=250,
+        pretrain_cycles=min(6_000, cycles),
+        warmup_cycles=1_000,
+        soft_error_spec=_SOFTERROR_BENCH_SPEC,
+    )
+    policy = RLControlPolicy(share_table=True, seed=seed)
+    sim = Simulator(config, policy, seed=seed, kernel=kernel)
+    start = time.perf_counter()
+    sim.pretrain()
+    policy.freeze()
+    sim.warmup()
+    source = SyntheticTraffic(
+        sim.network.topology,
+        pattern="uniform",
+        injection_rate=0.05,
+        packet_size=config.packet_size,
+        flit_bits=config.flit_bits,
+        rng=random.Random(seed + 97),
+    )
+    sim.run(source, cycles, learn=True)
+    deadline = sim.network.now + config.max_drain_cycles
+    while not sim.network.quiescent and sim.network.now < deadline:
+        sim._cycle()
+        if sim.network.now % config.epoch_cycles == 0:
+            sim._epoch_boundary(learn=True)
+    wall = time.perf_counter() - start
+    executed = sim.network.now
+    digest = _digest(sim.network)
+    # Fold the ECC ledger into the digest: the two kernels must agree
+    # not only on traffic outcomes but on every injected flip and every
+    # scrub correction/detection/quarantine.
+    digest["ecc"] = {
+        "injected": dict(sim.soft_errors.injected),
+        "scrubs": int(sim.metrics.peek("ecc.scrubs")),
+        "corrected": int(sim.metrics.peek("ecc.corrected")),
+        "detected": int(sim.metrics.peek("ecc.detected")),
+        "quarantined_rows": int(sim.metrics.peek("ecc.quarantined_rows")),
+        "mode_votes": int(sim.metrics.peek("ecc.mode_votes")),
+        "safe_mode_entries": int(sim.metrics.peek("ecc.safe_mode_entries")),
+        "mode_switches": sum(r.mode_switches for r in sim.network.routers),
+    }
+    return {
+        "kernel": sim.network.kernel,
+        "cycles": executed,
+        "wall_seconds": wall,
+        "cycles_per_second": executed / wall if wall > 0 else 0.0,
+        "digest": digest,
+        "activity": sim.network.activity.counters(),
+    }
+
+
 def run_scenario(
     name: str,
     kernel: str,
@@ -298,6 +382,8 @@ def run_scenario(
     """Run one scenario on one kernel; returns timing + digest + counters."""
     if name == "sensor":
         return _run_sensor_scenario(kernel, cycles, seed, width, height)
+    if name == "softerror":
+        return _run_softerror_scenario(kernel, cycles, seed, width, height)
     net = _scenario_network(name, kernel, seed, width, height)
     rng = random.Random(seed + 97)
     start = time.perf_counter()

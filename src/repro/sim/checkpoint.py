@@ -85,7 +85,14 @@ CHECKPOINT_MAGIC = b"RNOCCKPT"
 #: state, the epoch index and per-router mode-switch debounce clocks) —
 #: version-2 bodies would restore into a simulator missing those
 #: attributes and die at the first epoch boundary.
-CHECKPOINT_VERSION = 3
+#: Version 4: the simulator gained the memory soft-error subsystem (SEU
+#: model one-shot flags and master RNG, SECDED Q-table storages with
+#: codeword tables and dirty sets, the TMR mode-register bank, ECC
+#: escalation state) and the metric registry's instruments grew a
+#: non-finite guard backref — version-3 bodies would restore into
+#: objects missing those attributes and die at the first epoch boundary
+#: or scrub pass.
+CHECKPOINT_VERSION = 4
 
 _HEADER_LEN = struct.Struct("<I")
 

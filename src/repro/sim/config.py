@@ -88,6 +88,20 @@ class SimulationConfig:
     sensor_quarantine_k: int = 8
     mode_hysteresis_epochs: int = 0
 
+    # Memory soft errors / ECC scrubbing.  ``soft_error_spec`` is the SEU
+    # campaign of repro.faults.softerrors ("" = upset-free SRAM).  With
+    # ``ecc_protect`` (the default) Q-tables are stored as SECDED
+    # codewords and mode registers are TMR'd; a scrub pass every
+    # ``scrub_every`` epochs (0 = never) corrects single-bit errors,
+    # quarantines uncorrectable rows, and majority-votes the mode
+    # copies.  ``ecc_protect=False`` is the deliberately unprotected
+    # strawman (CLI ``--no-ecc``) whose degradation the acceptance tests
+    # pin down.  Storage attaches only when ``soft_error_spec`` is
+    # non-empty, so healthy-run behavior is bit-identical to before.
+    soft_error_spec: str = ""
+    ecc_protect: bool = True
+    scrub_every: int = 1
+
     def __post_init__(self) -> None:
         if self.width < 2 or self.height < 2:
             raise ValueError("mesh must be at least 2x2")
@@ -105,6 +119,8 @@ class SimulationConfig:
             raise ValueError("sensor_quarantine_k must be at least 1")
         if self.mode_hysteresis_epochs < 0:
             raise ValueError("mode_hysteresis_epochs cannot be negative")
+        if self.scrub_every < 0:
+            raise ValueError("scrub_every cannot be negative")
 
     @property
     def num_nodes(self) -> int:

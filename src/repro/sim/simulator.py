@@ -23,7 +23,7 @@ import random
 from typing import Callable, Dict, List, Optional, Protocol, Sequence
 
 from repro.core.controller import ControlPolicy, ObservationGuard, compute_reward
-from repro.core.modes import OperationMode
+from repro.core.modes import OperationMode, TmrModeBank
 from repro.core.state import (
     DiscretizationConfig,
     RouterObservation,
@@ -33,6 +33,7 @@ from repro.core.state import (
 from repro.faults.hardfaults import HardFaultModel, HardFaultSchedule
 from repro.faults.injector import FaultInjector
 from repro.faults.sensors import SensorFaultModel, parse_sensor_spec
+from repro.faults.softerrors import SoftErrorModel, parse_soft_error_spec
 from repro.faults.thermal import ThermalGrid
 from repro.faults.varius import VariusModel
 from repro.noc.network import Network
@@ -156,6 +157,25 @@ class Simulator:
         self._last_mode_switch: List[int] = [-(1 << 30)] * topology.num_nodes
 
         self.policy.reset(topology.num_nodes)
+
+        #: memory soft-error campaign (None when config.soft_error_spec
+        #: is empty — in which case no storage attaches and the learned
+        #: state stays a plain float table, bit-identical to before)
+        self.soft_errors: Optional[SoftErrorModel] = None
+        #: TMR'd mode registers (None when unprotected or upset-free)
+        self.mode_bank: Optional[TmrModeBank] = None
+        #: storages already escalated to safe mode by ECC quarantines
+        self._ecc_escalated: set = set()
+        if config.soft_error_spec:
+            self.soft_errors = SoftErrorModel(
+                parse_soft_error_spec(config.soft_error_spec),
+                topology.num_nodes,
+                seed=seed + 505,
+            )
+            self.policy.attach_q_storages(ecc=config.ecc_protect)
+            if config.ecc_protect:
+                self.mode_bank = TmrModeBank(topology.num_nodes)
+
         self._prev_obs: Optional[List[RouterObservation]] = None
         self._prev_actions: Optional[List[OperationMode]] = None
         self._last_epoch_latency = 1.0
@@ -505,6 +525,14 @@ class Simulator:
         self._prev_actions = actions
         self._epoch_index += 1
 
+        if self.mode_bank is not None:
+            # The TMR register bank latches the commanded modes; upsets
+            # land in the copies, the datapath reads the majority.
+            for router_id, mode in enumerate(actions):
+                self.mode_bank.write(router_id, int(mode))
+        if self.soft_errors is not None:
+            self._soft_error_epoch(network.now)
+
         if self._measuring:
             self._measured_epochs += 1
             self._measured_temp_sum += float(sum(temperatures)) / len(temperatures)
@@ -514,6 +542,115 @@ class Simulator:
 
         network.harvest_epoch_counters(span)
         network.reset_epoch_counters()
+
+    def _soft_error_epoch(self, now: int) -> None:
+        """Inject this epoch's SEUs, then scrub on the configured cadence.
+
+        Runs at the very end of the epoch boundary, after the policy's
+        mode writes: corruption lands *after* this epoch's decisions and
+        influences the next one — unless the scrub repairs it first
+        (``scrub_every=1`` repairs every single-bit upset before it can
+        ever drive behaviour, which is exactly the defended contract the
+        acceptance suite pins down).
+        """
+        m = self.metrics
+        network = self.network
+        storages = self.policy.q_storages()
+
+        def flip_mode(router_id: int, bit: int, copy: int) -> None:
+            if self.mode_bank is not None:
+                self.mode_bank.upset(router_id, bit, copy)
+            else:
+                # Unprotected register: the upset drives the datapath
+                # until the policy's next write overwrites it.
+                current = int(network.routers[router_id].mode)
+                network.set_mode(router_id, OperationMode(current ^ (1 << bit)))
+
+        stats = self.soft_errors.inject(now, storages, flip_mode)
+        for kind in ("qtable", "mode", "burst"):
+            if stats[kind]:
+                m.counter("softerror.injected." + kind).inc(stats[kind])
+        if stats["words_single"]:
+            m.counter("softerror.words_single").inc(stats["words_single"])
+        if stats["words_multi"]:
+            m.counter("softerror.words_multi").inc(stats["words_multi"])
+
+        scrub_every = self.config.scrub_every
+        if scrub_every and self._epoch_index % scrub_every == 0:
+            self._scrub(now, storages)
+
+    def _scrub(self, now: int, storages) -> None:
+        """One scrub pass over every Q storage plus the TMR mode bank."""
+        m = self.metrics
+        tracer = self.tracer
+        trace_ecc = tracer is not None and tracer.wants("ecc")
+        corrected = detected = quarantined = 0
+        per_router = len(storages) == len(self.network.routers)
+        for index, storage in enumerate(storages):
+            stats = storage.scrub()
+            corrected += stats["corrected"]
+            detected += stats["detected"]
+            quarantined += stats["quarantined_rows"]
+            if stats["quarantined_rows"] and trace_ecc:
+                tracer.emit(
+                    now,
+                    "ecc",
+                    "quarantine",
+                    subject=index if per_router else None,
+                    rows=stats["quarantined_rows"],
+                )
+            if (
+                per_router
+                and index not in self._ecc_escalated
+                and storage.quarantined_rows >= storage.QUARANTINE_LIMIT
+            ):
+                # The router's learned table is being eaten faster than
+                # it can relearn: degrade it to the safe mode (with a
+                # shared table there is no single router to blame, so
+                # escalation is per-router-agent only).
+                self._ecc_escalated.add(index)
+                reason = (
+                    f"ECC quarantine: {storage.quarantined_rows} Q-table "
+                    "rows lost to uncorrectable soft errors"
+                )
+                if not self.policy.enter_safe_mode(index, reason):
+                    self._safe_routers.add(index)
+                m.counter("ecc.safe_mode_entries").inc()
+                logger.warning(
+                    "router %d degraded at cycle %d: %s", index, now, reason
+                )
+        mode_votes = 0
+        if self.mode_bank is not None:
+            mode_votes = self.mode_bank.vote()
+            for router in self.network.routers:
+                value = self.mode_bank.read(router.id)
+                if value != int(router.mode):
+                    # Majority corrupted (two copies upset between
+                    # writes): the register output drives the datapath.
+                    self.network.set_mode(router.id, OperationMode(value))
+        m.counter("ecc.scrubs").inc()
+        if corrected:
+            m.counter("ecc.corrected").inc(corrected)
+            if trace_ecc:
+                tracer.emit(now, "ecc", "corrected", count=corrected)
+        if detected:
+            m.counter("ecc.detected").inc(detected)
+            if trace_ecc:
+                tracer.emit(now, "ecc", "detected", count=detected)
+        if quarantined:
+            m.counter("ecc.quarantined_rows").inc(quarantined)
+        if mode_votes:
+            m.counter("ecc.mode_votes").inc(mode_votes)
+        if trace_ecc:
+            tracer.emit(
+                now,
+                "ecc",
+                "scrub",
+                corrected=corrected,
+                detected=detected,
+                quarantined=quarantined,
+                votes=mode_votes,
+            )
 
     def _record_epoch_metrics(
         self,
@@ -780,6 +917,7 @@ class Simulator:
             safe_mode_entries=int(
                 self.metrics.peek("watchdog.safe_mode_entries")
                 + self.metrics.peek("sensor.quarantines")
+                + self.metrics.peek("ecc.safe_mode_entries")
             ),
             rejected_observations=int(
                 self.metrics.peek("sensor.rejected_observations")

@@ -47,6 +47,10 @@ Point kinds
     The raw mode trade-off surface: the whole mesh pinned to one
     operation mode under a flat channel error probability (used by
     ``examples/fault_sweep.py``).
+``soft_error``
+    One full closed-loop design under an SEU campaign that flips bits in
+    the quantized Q-table SRAM and the per-router mode registers, with
+    the SECDED/scrub/TMR defense layer on (``ecc_protect``) or off.
 
 Determinism contract: every evaluator seeds all randomness from the
 point's ``seed`` field (the simulators use only local
@@ -117,13 +121,19 @@ __all__ = [
 #: Schema 4: sensor-fault campaigns (``sensor_chaos`` kind,
 #: ``sensor_spec`` point field) — the key now hashes the sensor spec, so
 #: a cached healthy point can never be served for a sensor-faulted one.
-CACHE_SCHEMA = 4
+#: Schema 5: soft-error campaigns (``soft_error`` kind,
+#: ``soft_error_spec`` point field) — SEU flips in Q-table SRAM and mode
+#: registers change every evaluator's result surface, so the key hashes
+#: the SEU spec (and the config now carries ecc_protect / scrub_every).
+CACHE_SCHEMA = 5
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
 logger = logging.getLogger("repro.sim.sweep")
 
-POINT_KINDS = ("trace", "load", "suite", "mode_error", "chaos", "sensor_chaos")
+POINT_KINDS = (
+    "trace", "load", "suite", "mode_error", "chaos", "sensor_chaos", "soft_error",
+)
 
 MODE_DESIGNS = tuple(f"mode{int(m)}" for m in OperationMode)
 
@@ -157,6 +167,9 @@ class SweepPoint:
     #: sensor-fault campaign spec ("" = healthy telemetry); also part of
     #: the cache key (schema 4)
     sensor_spec: str = ""
+    #: soft-error (SEU) campaign spec ("" = upset-free SRAM); part of the
+    #: cache key (schema 5)
+    soft_error_spec: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -183,7 +196,7 @@ class SweepPoint:
     def label(self) -> str:
         """Short human-readable identifier used in progress lines."""
         parts = [self.kind, self.design, self.traffic, f"s{self.seed}"]
-        if self.kind in ("load", "chaos", "sensor_chaos") and self.rate:
+        if self.kind in ("load", "chaos", "sensor_chaos", "soft_error") and self.rate:
             parts.append(f"r{self.rate:g}")
         if self.kind == "mode_error":
             parts.append(f"p{self.error_probability:g}")
@@ -193,6 +206,8 @@ class SweepPoint:
             parts.append(self.fault_spec)
         if self.sensor_spec:
             parts.append(self.sensor_spec)
+        if self.soft_error_spec:
+            parts.append(self.soft_error_spec)
         return ":".join(parts)
 
 
@@ -217,13 +232,15 @@ class SweepSpec:
     fault_specs: Tuple[str, ...] = ("",)
     #: sensor-fault campaign axis (sensor_chaos kind only)
     sensor_specs: Tuple[str, ...] = ("",)
+    #: soft-error campaign axis (soft_error kind only)
+    soft_error_specs: Tuple[str, ...] = ("",)
     cycles: int = 3_000
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
             raise ValueError(f"unknown sweep kind {self.kind!r}")
         for name in ("designs", "traffics", "seeds", "error_scales",
-                     "fault_specs", "sensor_specs"):
+                     "fault_specs", "sensor_specs", "soft_error_specs"):
             if not getattr(self, name):
                 raise ValueError(f"{name} cannot be empty")
 
@@ -235,34 +252,41 @@ class SweepSpec:
             self.fault_specs if self.kind in ("chaos", "sensor_chaos") else ("",)
         )
         sensor_specs = self.sensor_specs if self.kind == "sensor_chaos" else ("",)
-        rated = ("load", "chaos", "sensor_chaos")
+        soft_error_specs = (
+            self.soft_error_specs if self.kind == "soft_error" else ("",)
+        )
+        rated = ("load", "chaos", "sensor_chaos", "soft_error")
         for traffic in traffics:
             for scale in self.error_scales:
                 for fault_spec in fault_specs:
                     for sensor_spec in sensor_specs:
-                        for extra in self._extra_axis():
-                            for seed in self.seeds:
-                                for design in self.designs:
-                                    points.append(
-                                        SweepPoint(
-                                            kind=self.kind,
-                                            design=design,
-                                            traffic=traffic,
-                                            seed=seed,
-                                            cycles=self.cycles,
-                                            error_scale=scale,
-                                            rate=extra if self.kind in rated else 0.0,
-                                            error_probability=(
-                                                extra if self.kind == "mode_error" else 0.0
-                                            ),
-                                            fault_spec=fault_spec,
-                                            sensor_spec=sensor_spec,
+                        for soft_error_spec in soft_error_specs:
+                            for extra in self._extra_axis():
+                                for seed in self.seeds:
+                                    for design in self.designs:
+                                        points.append(
+                                            SweepPoint(
+                                                kind=self.kind,
+                                                design=design,
+                                                traffic=traffic,
+                                                seed=seed,
+                                                cycles=self.cycles,
+                                                error_scale=scale,
+                                                rate=extra if self.kind in rated else 0.0,
+                                                error_probability=(
+                                                    extra
+                                                    if self.kind == "mode_error"
+                                                    else 0.0
+                                                ),
+                                                fault_spec=fault_spec,
+                                                sensor_spec=sensor_spec,
+                                                soft_error_spec=soft_error_spec,
+                                            )
                                         )
-                                    )
         return points
 
     def _extra_axis(self) -> Tuple[float, ...]:
-        if self.kind in ("load", "chaos", "sensor_chaos"):
+        if self.kind in ("load", "chaos", "sensor_chaos", "soft_error"):
             return self.rates
         if self.kind == "mode_error":
             return self.error_probabilities
@@ -287,7 +311,7 @@ class SweepSpec:
             config = SimulationConfig(**config)
         for name in ("designs", "traffics", "seeds", "error_scales",
                      "rates", "error_probabilities", "fault_specs",
-                     "sensor_specs"):
+                     "sensor_specs", "soft_error_specs"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         return cls(config=config, **kwargs)
@@ -563,6 +587,98 @@ def _eval_sensor_chaos(
     }
 
 
+def _eval_soft_error(
+    config: SimulationConfig, point: SweepPoint, tracer=None
+) -> Dict[str, object]:
+    """Learning-state degradation run: one full closed-loop design under
+    an SEU campaign flipping bits in the Q-table SRAM and the mode
+    registers, with open-loop synthetic traffic.
+
+    The thing under test is the SECDED + scrub + TMR defense layer:
+    with ``ecc_protect`` the scrubber repairs single-bit upsets before
+    they steer routing decisions, without it the corrupted Q-values and
+    mode registers drive the mesh directly.  Invariant-watchdog trips
+    during the measured window come back as a structured ``diagnosis``.
+    """
+    config = dataclasses.replace(
+        config,
+        error_scale=point.error_scale,
+        fault_spec=point.fault_spec,
+        soft_error_spec=point.soft_error_spec,
+    )
+    policy = default_design_factories(point.seed)[point.design]()
+    sim = Simulator(config, policy, seed=point.seed, tracer=tracer)
+    if sim.policy.trainable and config.pretrain_cycles > 0:
+        sim.pretrain()
+    sim.policy.freeze()
+    if config.warmup_cycles > 0:
+        sim.warmup()
+    sim.begin_measurement()
+    start = sim.network.now
+    rate = point.rate if point.rate > 0.0 else 0.05
+    source = SyntheticTraffic(
+        sim.network.topology,
+        pattern=point.traffic or "uniform",
+        injection_rate=rate,
+        packet_size=config.packet_size,
+        flit_bits=config.flit_bits,
+        rng=random.Random(point.seed + 7),
+    )
+    diagnosis = None
+    try:
+        sim.run(source, point.cycles, learn=True)
+        deadline = sim.network.now + config.max_drain_cycles
+        while not sim.network.quiescent and sim.network.now < deadline:
+            sim._cycle()
+            if sim.network.now % config.epoch_cycles == 0:
+                sim._epoch_boundary(learn=True)
+    except NoCInvariantError as exc:
+        diagnosis = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "report": exc.report,
+        }
+    result = sim.finish_measurement(point.traffic or "uniform", sim.network.now - start)
+    outstanding = sum(ni.outstanding_messages for ni in sim.network.interfaces)
+    return {
+        "soft_error": {
+            "design": point.design,
+            "soft_error_spec": point.soft_error_spec,
+            "fault_spec": point.fault_spec,
+            "ecc": bool(config.ecc_protect),
+            "scrub_every": config.scrub_every,
+            "delivered_fraction": result.delivered_fraction,
+            "messages_created": result.messages_created,
+            "packets_delivered": result.packets_delivered,
+            "messages_dropped": result.messages_dropped,
+            "mean_latency": result.mean_latency,
+            "injected": (
+                dict(sim.soft_errors.injected) if sim.soft_errors is not None else {}
+            ),
+            "scrubs": int(sim.metrics.peek("ecc.scrubs")),
+            "corrected": int(sim.metrics.peek("ecc.corrected")),
+            "detected": int(sim.metrics.peek("ecc.detected")),
+            "quarantined_rows": int(sim.metrics.peek("ecc.quarantined_rows")),
+            "mode_votes": int(sim.metrics.peek("ecc.mode_votes")),
+            "words_single": int(sim.metrics.peek("softerror.words_single")),
+            "words_multi": int(sim.metrics.peek("softerror.words_multi")),
+            "max_abs_q": max(
+                (
+                    abs(value)
+                    for storage in sim.policy.q_storages()
+                    for row in storage.agent._table.values()
+                    for value in row
+                ),
+                default=0.0,
+            ),
+            "safe_mode_entries": result.safe_mode_entries,
+            "mode_switches": result.mode_switches,
+            "outstanding": outstanding,
+            "diagnosis": diagnosis,
+        },
+    }
+
+
 _EVALUATORS = {
     "trace": _eval_trace,
     "load": _eval_load,
@@ -570,6 +686,7 @@ _EVALUATORS = {
     "mode_error": _eval_mode_error,
     "chaos": _eval_chaos,
     "sensor_chaos": _eval_sensor_chaos,
+    "soft_error": _eval_soft_error,
 }
 
 
@@ -725,6 +842,7 @@ class PointResult:
     mode_stats: Optional[Dict[str, float]] = None
     chaos: Optional[Dict[str, object]] = None
     sensor: Optional[Dict[str, object]] = None
+    soft_error: Optional[Dict[str, object]] = None
 
 
 def _payload_to_result(
@@ -751,6 +869,8 @@ def _payload_to_result(
         result.chaos = dict(payload["chaos"])
     if payload.get("sensor_chaos") is not None:
         result.sensor = dict(payload["sensor_chaos"])
+    if payload.get("soft_error") is not None:
+        result.soft_error = dict(payload["soft_error"])
     return result
 
 

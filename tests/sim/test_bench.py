@@ -1,4 +1,4 @@
-"""Tests for the kernel bench harness's closed-loop sensor scenario."""
+"""Tests for the kernel bench harness's closed-loop fault scenarios."""
 
 from repro.sim.bench import SCENARIOS, run_bench
 
@@ -17,4 +17,21 @@ def test_sensor_scenario_kernel_equivalent_and_faulted():
     assert sensor["injected"]["stuck"] > 0
     assert sensor["rejected"] > 0
     assert sensor["holds"] + sensor["clamps"] > 0
+    assert digest["packets_delivered"] > 0
+
+
+def test_softerror_scenario_kernel_equivalent_and_upset():
+    """The softerror digest folds the full ECC ledger, so any kernel
+    divergence in flip placement or scrub outcomes fails loudly inside
+    run_bench; this pins that the campaign actually upset the Q-tables
+    and that the scrubber actually corrected on both kernels."""
+    assert "softerror" in SCENARIOS
+    payload = run_bench(quick=True, scenarios=["softerror"])
+    row = payload["scenarios"]["softerror"]
+    digest = row["fast"]["digest"]
+    assert digest == row["naive"]["digest"]
+    ecc = digest["ecc"]
+    assert ecc["injected"]["qtable"] > 0
+    assert ecc["scrubs"] > 0
+    assert ecc["corrected"] > 0
     assert digest["packets_delivered"] > 0

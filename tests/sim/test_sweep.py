@@ -131,6 +131,25 @@ class TestGridExpansion:
         spec = tiny_trace_spec(sensor_specs=("", "drop@0.2:util"))
         assert all(p.sensor_spec == "" for p in spec.expand())
 
+    def test_soft_error_expands_soft_error_spec_axis(self):
+        spec = SweepSpec(
+            config=tiny_config(), kind="soft_error", designs=("rl",),
+            traffics=("uniform",), rates=(0.05,),
+            fault_specs=("",),
+            soft_error_specs=("qtable@1e-5", "qtable@1e-5;burst@800:4"),
+            cycles=400,
+        )
+        points = spec.expand()
+        assert len(points) == 2
+        assert sorted(p.soft_error_spec for p in points) == [
+            "qtable@1e-5", "qtable@1e-5;burst@800:4",
+        ]
+        assert all(p.kind == "soft_error" and p.rate == 0.05 for p in points)
+
+    def test_soft_error_specs_ignored_outside_soft_error(self):
+        spec = tiny_trace_spec(soft_error_specs=("", "qtable@1e-5"))
+        assert all(p.soft_error_spec == "" for p in spec.expand())
+
     def test_sensor_chaos_takes_control_designs(self):
         spec = SweepSpec(
             config=tiny_config(), kind="sensor_chaos", designs=("xy",),
@@ -156,7 +175,10 @@ class TestGridExpansion:
             SweepSpec(config=tiny_config(), kind="quantum")
 
     def test_spec_dict_round_trip(self):
-        spec = tiny_trace_spec(seeds=(3, 4), error_scales=(0.5,))
+        spec = tiny_trace_spec(
+            seeds=(3, 4), error_scales=(0.5,),
+            soft_error_specs=("", "qtable@1e-5"),
+        )
         blob = json.dumps(spec.as_dict())
         assert SweepSpec.from_dict(json.loads(blob)) == spec
 
@@ -211,6 +233,22 @@ class TestCacheKeys:
         for change in (
             {"sensor_spec": "drop@0.2:util"},
             {"sensor_spec": "drop@0.2:util;stuck@r1.temp=0.9"},
+        ):
+            keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
+        assert len(keys) == 3
+
+    def test_key_sensitive_to_soft_error_spec(self):
+        """Schema 5: a cached healthy point must never be served for an
+        SEU campaign (or one campaign for another)."""
+        config = tiny_config()
+        base = SweepPoint(
+            kind="soft_error", design="rl", traffic="uniform", seed=0,
+            cycles=400, rate=0.05,
+        )
+        keys = {point_cache_key(config, base)}
+        for change in (
+            {"soft_error_spec": "qtable@1e-5"},
+            {"soft_error_spec": "qtable@1e-5;mode@r3+500"},
         ):
             keys.add(point_cache_key(config, dataclasses.replace(base, **change)))
         assert len(keys) == 3

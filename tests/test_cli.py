@@ -175,12 +175,62 @@ class TestSensorChaosCommand:
         assert "drop@0.3:util" in out and "ok" in out
 
 
+class TestSoftErrorChaosCommand:
+    def _argv(self, cache_dir, extra=()):
+        return [
+            "chaos", "--soft-error-spec", "qtable@5e-4;mode@r4+1900",
+            "--width", "3", "--height", "3",
+            "--epoch", "100", "--pretrain", "1500", "--warmup", "300",
+            "--rate", "0.05", "--span", "600",
+            "--cache-dir", str(cache_dir),
+            *extra,
+        ]
+
+    def test_rejects_bad_soft_error_spec(self, tmp_path):
+        with pytest.raises(
+            SystemExit, match="bad soft-error clause 'qtable@2'"
+        ):
+            main(self._argv(tmp_path, ["--soft-error-spec", "qtable@2"]))
+
+    def test_json_payload(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, ["--json"])) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        row = payload[0]
+        assert row["design"] == "rl"
+        assert row["soft_error_spec"] == "qtable@5e-4;mode@r4+1900"
+        assert row["ecc"] is True
+        assert row["diagnosis"] is None
+        assert row["delivered_fraction"] >= 0.95
+        assert row["injected"]["qtable"] > 0
+        assert row["corrected"] > 0
+
+    def test_no_ecc_flag_disables_correction(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, ["--no-ecc", "--json"])) == 0
+        row = json.loads(capsys.readouterr().out)[0]
+        assert row["ecc"] is False
+        assert row["corrected"] == 0
+        assert row["injected"]["qtable"] > 0
+
+    def test_text_table(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "soft-error spec" in out and "corr" in out
+        assert "qtable@5e-4" in out and "ok" in out
+
+
 class TestSpecValidation:
     """Malformed grammars exit with one line naming the bad clause."""
 
     def test_run_rejects_bad_fault_spec(self):
         with pytest.raises(SystemExit, match=r"--fault-spec: bad fault clause"):
             main(["run", "--fault-spec", "link@500:5Q"])
+
+    def test_run_rejects_bad_soft_error_spec(self):
+        with pytest.raises(
+            SystemExit, match=r"--soft-error-spec: bad soft-error clause"
+        ):
+            main(["run", "--soft-error-spec", "qtable@0"])
 
     def test_run_rejects_bad_sensor_spec(self):
         with pytest.raises(
