@@ -21,9 +21,9 @@ Scaling knobs (environment variables):
     Ignore the cache and recompute the grid.
 ``REPRO_BENCH_JOBS``
     Worker processes for the grid (default: one per design, capped by
-    the CPU count).  Each design's chain (pre-train once, then every
-    benchmark in order with policy state carried over) is one sweep
-    point, so parallelism across designs changes no results.
+    the CPU count).  Each design's row (pre-train once, snapshot, then
+    every benchmark on a fresh clone of the frozen snapshot) is one
+    sweep point, so parallelism across designs changes no results.
 """
 
 import json
@@ -72,8 +72,10 @@ def bench_benchmarks():
 def _fingerprint(config, benchmarks, trace_cycles):
     return {
         # Bump when result-affecting code changes (v2: stable crc32 trace
-        # seeding replaced per-interpreter hash()).
-        "code_version": 2,
+        # seeding replaced per-interpreter hash(); v3: full-width crc32
+        # trace seeds and per-benchmark policy clones from the frozen
+        # pretrain snapshot instead of one live policy chained in order).
+        "code_version": 3,
         "width": config.width,
         "height": config.height,
         "pretrain_cycles": config.pretrain_cycles,

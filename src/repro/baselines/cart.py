@@ -15,7 +15,7 @@ invariants in ``tests/baselines/test_cart.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["TreeNode", "RegressionTree"]
 
@@ -33,6 +33,41 @@ class TreeNode:
     @property
     def is_leaf(self) -> bool:
         return self.feature is None
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint / artifact round-trips)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """JSON-able nested dict; inverse of :meth:`from_state`."""
+        state: Dict[str, object] = {"prediction": self.prediction}
+        if not self.is_leaf:
+            state["feature"] = self.feature
+            state["threshold"] = self.threshold
+            state["left"] = self.left.to_state()
+            state["right"] = self.right.to_state()
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "TreeNode":
+        """Rebuild a node (and its subtree) from :meth:`to_state`.
+
+        Raises ``ValueError``/``TypeError``/``KeyError`` on a malformed
+        snapshot — an internal node missing a child, a non-numeric
+        threshold — rather than building a tree that dies at predict().
+        """
+        prediction = float(state["prediction"])
+        if state.get("feature") is None:
+            return cls(prediction=prediction)
+        feature = int(state["feature"])
+        if feature < 0:
+            raise ValueError(f"negative feature index {feature}")
+        return cls(
+            prediction=prediction,
+            feature=feature,
+            threshold=float(state["threshold"]),
+            left=cls.from_state(state["left"]),
+            right=cls.from_state(state["right"]),
+        )
 
 
 def _variance_sums(values: Sequence[float]) -> Tuple[float, float]:
@@ -177,3 +212,38 @@ class RegressionTree:
             return walk(node.left) + walk(node.right)
 
         return walk(self.root)
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint / artifact round-trips)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """JSON-able snapshot of the hyper-parameters and fitted tree."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_variance_reduction": self.min_variance_reduction,
+            "n_features": self.n_features,
+            "root": self.root.to_state() if self.root is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "RegressionTree":
+        """Rebuild a tree from :meth:`to_state`; a clone predicts
+        identically to the snapshotted original.
+
+        Raises ``ValueError``/``TypeError``/``KeyError`` on malformed
+        state, the same contract as :meth:`TreeNode.from_state`.
+        """
+        tree = cls(
+            max_depth=int(state["max_depth"]),
+            min_samples_leaf=int(state["min_samples_leaf"]),
+            min_variance_reduction=float(state["min_variance_reduction"]),
+        )
+        n_features = state.get("n_features")
+        root = state.get("root")
+        if root is not None:
+            if n_features is None or int(n_features) < 1:
+                raise ValueError("fitted tree state must carry n_features")
+            tree.n_features = int(n_features)
+            tree.root = TreeNode.from_state(root)
+        return tree

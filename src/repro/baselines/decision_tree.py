@@ -17,7 +17,8 @@ training of the original work.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import logging
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.cart import RegressionTree
 from repro.core.controller import ControlPolicy
@@ -26,6 +27,8 @@ from repro.core.state import RouterObservation
 from repro.power.orion import DesignPowerProfile
 
 __all__ = ["DecisionTreePolicy", "DEFAULT_THRESHOLDS"]
+
+logger = logging.getLogger("repro.baselines.decision_tree")
 
 #: Hand-engineered error-rate levels separating the four modes:
 #: below minimum -> mode 0, low -> mode 1, medium -> mode 2, high -> mode 3.
@@ -116,3 +119,62 @@ class DecisionTreePolicy(ControlPolicy):
         if not self.is_fitted:
             raise RuntimeError("decision tree has not been trained")
         return self._tree.predict(observation.raw_vector())
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoints and pretrained campaign artifacts)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """Durable snapshot: thresholds, the fitted tree, and — so a
+        mid-pretrain checkpoint round-trips exactly — the training
+        samples collected so far."""
+        return {
+            "policy": self.name,
+            "thresholds": list(self.thresholds),
+            "training_mode": int(self.training_mode),
+            "frozen": self._frozen,
+            "samples_x": [list(row) for row in self._samples_x],
+            "samples_y": list(self._samples_y),
+            "tree": self._tree.to_state() if self._tree is not None else None,
+        }
+
+    def load_state(self, state: Optional[Dict[str, object]]) -> None:
+        """Restore a :meth:`to_state` snapshot, degrading instead of dying.
+
+        The snapshot is validated in full before any field is applied; a
+        malformed one (non-numeric thresholds, a torn tree, mismatched
+        sample arrays) is rejected with a warning and the policy keeps
+        its current model — the unfitted fallback still controls every
+        router via ``training_mode``.
+        """
+        if not state:
+            return
+        try:
+            thresholds = tuple(float(t) for t in state.get("thresholds", self.thresholds))
+            if len(thresholds) != 3 or not thresholds[0] < thresholds[1] < thresholds[2]:
+                raise ValueError("thresholds must be three strictly increasing values")
+            training_mode = OperationMode(
+                int(state.get("training_mode", int(self.training_mode)))
+            )
+            samples_x = [
+                [float(v) for v in row] for row in state.get("samples_x", [])
+            ]
+            samples_y = [float(v) for v in state.get("samples_y", [])]
+            if len(samples_x) != len(samples_y):
+                raise ValueError("sample features and labels disagree in length")
+            tree_state = state.get("tree")
+            tree = (
+                RegressionTree.from_state(tree_state)
+                if tree_state is not None
+                else None
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            logger.warning(
+                "rejected decision-tree state (%s); keeping the current model", exc
+            )
+            return
+        self.thresholds = thresholds
+        self.training_mode = training_mode
+        self._samples_x = samples_x
+        self._samples_y = samples_y
+        self._tree = tree
+        self._frozen = bool(state.get("frozen", False))

@@ -1,6 +1,6 @@
 """Command-line interface: run experiments without writing Python.
 
-Six subcommands:
+Eight subcommands:
 
 ``run``
     One (design, benchmark) measurement with the full phase structure.
@@ -38,8 +38,17 @@ Six subcommands:
     Inspect a JSONL event trace written by ``run/resume/chaos --trace``:
     per-category summary, ``--tail N`` events, the canonical stream
     digest, or a filtered JSON dump.
+``campaign``
+    The paper-figure grid (benchmarks x designs) behind Figs 6-10.
+    Each trainable design is pre-trained exactly once and persisted as
+    a versioned, CRC-guarded artifact under ``--artifact-dir``; every
+    grid cell clones a fresh policy from that artifact, so results are
+    bit-identical across benchmark orderings and ``--jobs`` settings.
+    Emits the normalized per-benchmark + geomean tables as Markdown
+    (default), ``--json``, or to ``--report-json`` / ``--report-md``
+    files — the exact tables EXPERIMENTS.md embeds.
 
-``compare``, ``sweep``, and ``chaos`` are grids of independent
+``compare``, ``sweep``, ``chaos``, and ``campaign`` are grids of independent
 simulations, so all go through :mod:`repro.sim.sweep`: ``--jobs N`` fans
 points out over supervised worker processes (``--jobs 1`` runs the
 identical code serially), and every finished point is cached under
@@ -64,6 +73,8 @@ Examples::
     python -m repro.cli chaos --soft-error-spec 'qtable@1e-5;burst@800:4'
     python -m repro.cli run --design rl --soft-error-spec 'qtable@1e-5' --no-ecc
     python -m repro.cli trace run.jsonl --tail 10
+    python -m repro.cli campaign --jobs 4 --report-md tables.md
+    python -m repro.cli campaign --benchmarks canneal,x264 --designs crc,rl
 """
 
 from __future__ import annotations
@@ -77,12 +88,17 @@ from typing import Optional, Sequence
 from repro.baselines import DecisionTreePolicy, arq_ecc_policy, crc_policy
 from repro.core.rl_policy import RLControlPolicy
 from repro.sim import (
+    DEFAULT_ARTIFACT_DIR,
     DESIGN_ORDER,
+    CampaignSpec,
     Simulator,
     SweepRunner,
     SweepSpec,
+    campaign_report,
     merge_trace_grid,
     normalize_to_baseline,
+    render_report_markdown,
+    run_campaign,
     scaled_config,
     stderr_progress,
     synthesize_benchmark_trace,
@@ -91,6 +107,7 @@ from repro.faults import parse_fault_spec, parse_sensor_spec, parse_soft_error_s
 from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.obs import (
     CATEGORIES as TRACE_CATEGORIES,
+    MetricRegistry,
     TraceBuffer,
     parse_categories,
     read_trace_jsonl,
@@ -446,6 +463,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
+    camp = sub.add_parser(
+        "campaign",
+        help="paper-figure grid (Figs 6-10): pretrain-once artifacts, "
+        "cached benchmarks x designs cells, normalized report tables",
+    )
+    camp.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated PARSEC benchmarks (default: all "
+        f"{len(PARSEC_PROFILES)}, sorted)",
+    )
+    camp.add_argument(
+        "--designs", default=",".join(DESIGN_ORDER),
+        help="comma-separated designs (default: %(default)s)",
+    )
+    camp.add_argument(
+        "--artifact-dir", default=DEFAULT_ARTIFACT_DIR,
+        help="pretrained-policy artifact store (default: %(default)s)",
+    )
+    camp.add_argument(
+        "--refresh-artifacts", action="store_true",
+        help="re-pretrain even when a matching artifact exists",
+    )
+    camp.add_argument(
+        "--report-json", default=None, metavar="FILE",
+        help="also write the normalized report as JSON to FILE",
+    )
+    camp.add_argument(
+        "--report-md", default=None, metavar="FILE",
+        help="also write the normalized report as Markdown to FILE",
+    )
+    _add_platform_args(camp)
+    _add_sweep_args(camp)
+    _add_trace_args(camp)
+
     trace = sub.add_parser("trace", help="inspect a JSONL event trace")
     trace.add_argument("file", help="trace file written by run/resume/chaos --trace")
     trace.add_argument(
@@ -676,6 +727,77 @@ def cmd_sweep(args) -> int:
         marker = "  (saturated)" if saturated else ""
         print(f"{rate:>8.3f} {latency:>10.1f} {throughput:>11.3f}{marker}")
     return 0 if runner.report.succeeded else 1
+
+
+def cmd_campaign(args) -> int:
+    if args.benchmarks:
+        benchmarks = tuple(b.strip() for b in args.benchmarks.split(",") if b.strip())
+    else:
+        benchmarks = tuple(sorted(PARSEC_PROFILES))
+    for benchmark in benchmarks:
+        _check_benchmark(benchmark)
+    designs = tuple(d.strip() for d in args.designs.split(",") if d.strip())
+    config = _config_from_args(args)
+    try:
+        spec = CampaignSpec(
+            config=config,
+            benchmarks=benchmarks,
+            designs=designs,
+            seed=args.seed,
+            trace_cycles=args.trace_cycles,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    tracer = _make_tracer(args)
+    registry = MetricRegistry() if args.metrics else None
+    print(
+        f"campaign: {len(benchmarks)} benchmark(s) x {len(designs)} design(s), "
+        f"seed {args.seed} ...",
+        file=sys.stderr,
+    )
+    result = run_campaign(
+        spec,
+        jobs=args.jobs,
+        artifact_dir=args.artifact_dir,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        refresh_artifacts=args.refresh_artifacts,
+        progress=stderr_progress,
+        point_timeout=args.point_timeout,
+        max_retries=args.retries,
+        registry=registry,
+        tracer=tracer,
+    )
+    counters = result.counters()
+    print(
+        f"[campaign] {int(counters['artifacts_built'])} artifact(s) built, "
+        f"{int(counters['artifacts_reused'])} reused; "
+        f"{int(counters['cells_executed'])} cell(s) simulated, "
+        f"{int(counters['cells_cached'])} from cache",
+        file=sys.stderr,
+    )
+    if result.report.quarantined:
+        print(
+            f"[campaign] {len(result.report.quarantined)} cell(s) quarantined: "
+            + ", ".join(result.report.quarantined),
+            file=sys.stderr,
+        )
+    report = campaign_report(result.suite, designs=list(designs))
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[campaign] report JSON -> {args.report_json}", file=sys.stderr)
+    if args.report_md:
+        with open(args.report_md, "w", encoding="utf-8") as fh:
+            fh.write(render_report_markdown(report))
+        print(f"[campaign] report Markdown -> {args.report_md}", file=sys.stderr)
+    _export_observability(args, tracer, registry)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report_markdown(report))
+    return 0 if result.succeeded else 1
 
 
 def cmd_chaos(args) -> int:
@@ -1104,6 +1226,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": cmd_chaos,
         "bench": cmd_bench,
         "trace": cmd_trace,
+        "campaign": cmd_campaign,
     }
     try:
         return handlers[args.command](args)

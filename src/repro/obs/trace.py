@@ -42,6 +42,7 @@ CATEGORIES: Tuple[str, ...] = (
     "checkpoint",  # snapshot save/restore markers
     "sensor",  # telemetry corruption defenses: rejects, quarantines, debounces
     "ecc",  # Q-table/mode-register scrubbing: corrections, detections, quarantines
+    "campaign",  # paper-figure campaigns: artifact build/reuse, grid completion
 )
 
 _CATEGORY_SET = frozenset(CATEGORIES)

@@ -65,10 +65,14 @@ from repro.traffic.synthetic import SyntheticTraffic
 __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
+    "ARTIFACT_VERSION",
     "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_meta",
+    "save_policy_artifact",
+    "load_policy_artifact",
+    "read_policy_artifact_meta",
     "ResumableRun",
 ]
 
@@ -94,6 +98,13 @@ CHECKPOINT_MAGIC = b"RNOCCKPT"
 #: or scrub pass.
 CHECKPOINT_VERSION = 4
 
+#: Pretrained-policy campaign artifacts share the container format but
+#: version independently: an artifact body is a ``ControlPolicy.to_state``
+#: snapshot, not a pickled Simulator graph, so simulator reshapes that
+#: bump CHECKPOINT_VERSION do not invalidate artifacts (and vice versa).
+#: Version 1: {"state": <policy.to_state()>} bodies.
+ARTIFACT_VERSION = 1
+
 _HEADER_LEN = struct.Struct("<I")
 
 
@@ -102,7 +113,10 @@ class CheckpointError(RuntimeError):
 
 
 def save_checkpoint(
-    path: Union[str, Path], payload: object, meta: Dict[str, object]
+    path: Union[str, Path],
+    payload: object,
+    meta: Dict[str, object],
+    version: int = CHECKPOINT_VERSION,
 ) -> Path:
     """Atomically write a versioned, CRC-guarded checkpoint.
 
@@ -110,13 +124,15 @@ def save_checkpoint(
     and is readable later via :func:`read_checkpoint_meta` without
     touching the pickle.  The write goes to a uniquely-named temp file
     first and is published with ``os.replace``, so a crash mid-write
-    leaves any previous checkpoint intact.
+    leaves any previous checkpoint intact.  ``version`` defaults to the
+    run-snapshot format; other container users (campaign artifacts)
+    stamp their own version so readers reject foreign bodies cleanly.
     """
     path = Path(path)
     body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     header = json.dumps(
         {
-            "version": CHECKPOINT_VERSION,
+            "version": version,
             "crc32": zlib.crc32(body) & 0xFFFFFFFF,
             "body_bytes": len(body),
             "meta": meta,
@@ -140,7 +156,9 @@ def save_checkpoint(
     return path
 
 
-def _read_container(path: Union[str, Path]) -> Tuple[Dict[str, object], bytes]:
+def _read_container(
+    path: Union[str, Path], version: int = CHECKPOINT_VERSION
+) -> Tuple[Dict[str, object], bytes]:
     path = Path(path)
     try:
         blob = path.read_bytes()
@@ -159,11 +177,11 @@ def _read_container(path: Union[str, Path]) -> Tuple[Dict[str, object], bytes]:
         header = json.loads(blob[offset:offset + header_len].decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise CheckpointError(f"{path} has a corrupt header: {exc}") from None
-    version = header.get("version")
-    if version != CHECKPOINT_VERSION:
+    found = header.get("version")
+    if found != version:
         raise CheckpointError(
-            f"{path} is checkpoint version {version!r}; this build reads "
-            f"version {CHECKPOINT_VERSION}"
+            f"{path} is checkpoint version {found!r}; this reader expects "
+            f"version {version}"
         )
     body = blob[offset + header_len:]
     if len(body) != header.get("body_bytes"):
@@ -176,20 +194,55 @@ def _read_container(path: Union[str, Path]) -> Tuple[Dict[str, object], bytes]:
     return header, body
 
 
-def read_checkpoint_meta(path: Union[str, Path]) -> Dict[str, object]:
+def read_checkpoint_meta(
+    path: Union[str, Path], version: int = CHECKPOINT_VERSION
+) -> Dict[str, object]:
     """Validate the container and return the JSON metadata only."""
-    header, _ = _read_container(path)
+    header, _ = _read_container(path, version=version)
     return dict(header.get("meta", {}))
 
 
-def load_checkpoint(path: Union[str, Path]) -> Tuple[object, Dict[str, object]]:
+def load_checkpoint(
+    path: Union[str, Path], version: int = CHECKPOINT_VERSION
+) -> Tuple[object, Dict[str, object]]:
     """Validate and unpickle a checkpoint; returns (payload, meta)."""
-    header, body = _read_container(path)
+    header, body = _read_container(path, version=version)
     try:
         payload = pickle.loads(body)
     except Exception as exc:  # pickle raises a zoo of types
         raise CheckpointError(f"{path} body failed to unpickle: {exc}") from None
     return payload, dict(header.get("meta", {}))
+
+
+# ----------------------------------------------------------------------
+# Pretrained-policy campaign artifacts
+# ----------------------------------------------------------------------
+def save_policy_artifact(
+    path: Union[str, Path], state: Dict[str, object], meta: Dict[str, object]
+) -> Path:
+    """Persist a frozen policy snapshot as a campaign artifact.
+
+    Same atomic, CRC-guarded container as run checkpoints, stamped with
+    :data:`ARTIFACT_VERSION`; ``state`` is a ``ControlPolicy.to_state``
+    snapshot and ``meta`` should carry the campaign's content key so
+    readers can verify they got the artifact they asked for.
+    """
+    return save_checkpoint(path, {"state": state}, meta, version=ARTIFACT_VERSION)
+
+
+def load_policy_artifact(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Validate an artifact and return ``(policy_state, meta)``."""
+    payload, meta = load_checkpoint(path, version=ARTIFACT_VERSION)
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointError(f"{path} is not a policy artifact")
+    return payload["state"], meta
+
+
+def read_policy_artifact_meta(path: Union[str, Path]) -> Dict[str, object]:
+    """Validate an artifact container and return its metadata only."""
+    return read_checkpoint_meta(path, version=ARTIFACT_VERSION)
 
 
 # ----------------------------------------------------------------------

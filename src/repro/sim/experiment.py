@@ -9,6 +9,8 @@ normalizes every metric to the CRC baseline exactly as Figs 6-10 do.
 
 from __future__ import annotations
 
+import logging
+import math
 import random
 import zlib
 from typing import Callable, Dict, Iterable, List, Optional
@@ -29,11 +31,16 @@ __all__ = [
     "default_design_factories",
     "run_design_on_trace",
     "pretrain_policy",
+    "snapshot_pretrained_policies",
+    "clone_policy",
     "compare_designs",
+    "benchmark_trace_seed",
     "run_parsec_suite",
     "normalize_to_baseline",
     "geometric_mean",
 ]
+
+logger = logging.getLogger("repro.sim.experiment")
 
 #: Plot order used by every figure in the paper.
 DESIGN_ORDER = ("crc", "arq_ecc", "dt", "rl")
@@ -86,6 +93,39 @@ def pretrain_policy(policy: ControlPolicy, config: SimulationConfig, seed: int =
     policy.freeze()
 
 
+def snapshot_pretrained_policies(
+    factories: Dict[str, Callable[[], ControlPolicy]],
+    config: SimulationConfig,
+    seed: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """Pre-train each design once; returns its frozen ``to_state`` snapshot.
+
+    The snapshot — not the live policy object — is what evaluation cells
+    should start from: cloning a fresh policy per cell keeps online
+    adaptation cell-local instead of leaking across benchmarks.
+    """
+    snapshots = {}
+    for name, factory in factories.items():
+        policy = factory()
+        pretrain_policy(policy, config, seed=seed)
+        snapshots[name] = policy.to_state()
+    return snapshots
+
+
+def clone_policy(
+    factory: Callable[[], ControlPolicy], state: Dict[str, object]
+) -> ControlPolicy:
+    """Fresh policy restored to a ``to_state`` snapshot.
+
+    Learning policies serialize their full model plus RNG state, so a
+    clone behaves bit-identically to the snapshotted original; stateless
+    policies round-trip trivially (their snapshot is just the name).
+    """
+    policy = factory()
+    policy.load_state(state)
+    return policy
+
+
 def compare_designs(
     records: List[TraceRecord],
     config: SimulationConfig,
@@ -115,6 +155,18 @@ def compare_designs(
     return results
 
 
+def benchmark_trace_seed(benchmark: str, seed: int = 0) -> int:
+    """Trace-RNG seed for one benchmark, stable across processes.
+
+    zlib.crc32, not hash(): str hashing is salted per interpreter
+    (PYTHONHASHSEED), which would give every process — and every sweep
+    worker — a different trace for the same (benchmark, seed).  The full
+    32-bit CRC is mixed in; folding it (an earlier ``% 1000``) would let
+    distinct benchmark names collide onto identical traces.
+    """
+    return seed + zlib.crc32(benchmark.encode("utf-8"))
+
+
 def synthesize_benchmark_trace(
     benchmark: str,
     config: SimulationConfig,
@@ -124,11 +176,8 @@ def synthesize_benchmark_trace(
     """PARSEC-like trace for one benchmark on the configured mesh."""
     profile = PARSEC_PROFILES[benchmark]
     topology = MeshTopology(config.width, config.height)
-    # zlib.crc32, not hash(): str hashing is salted per interpreter
-    # (PYTHONHASHSEED), which would give every process — and every sweep
-    # worker — a different trace for the same (benchmark, seed).
-    stable = zlib.crc32(benchmark.encode("utf-8")) % 1000
-    synthesizer = ParsecTraceSynthesizer(profile, topology, random.Random(seed + stable))
+    rng = random.Random(benchmark_trace_seed(benchmark, seed))
+    synthesizer = ParsecTraceSynthesizer(profile, topology, rng)
     return synthesizer.synthesize(cycles)
 
 
@@ -141,18 +190,23 @@ def run_parsec_suite(
 ) -> Dict[str, Dict[str, RunResult]]:
     """The full evaluation grid: benchmarks x designs.
 
-    Each design's policy is pre-trained once on synthetic traffic, then
-    evaluated on every benchmark trace (learning policies keep adapting
-    online during testing, exactly as the paper describes).
+    Each design is pre-trained once on synthetic traffic and snapshotted;
+    every benchmark cell then runs a fresh policy cloned from that frozen
+    snapshot.  Learning policies keep adapting online *within* a cell,
+    exactly as the paper describes — but the adaptation stays cell-local,
+    so per-cell results are independent of benchmark iteration order
+    (reusing one live policy object across benchmarks leaked the state
+    benchmark N learned into benchmark N+1).
     """
     names = list(benchmarks) if benchmarks is not None else sorted(PARSEC_PROFILES)
     factories = designs if designs is not None else default_design_factories(seed)
-    policies = {name: factory() for name, factory in factories.items()}
-    for policy in policies.values():
-        pretrain_policy(policy, config, seed=seed)
+    snapshots = snapshot_pretrained_policies(factories, config, seed=seed)
     suite = {}
     for benchmark in names:
         records = synthesize_benchmark_trace(benchmark, config, trace_cycles, seed)
+        policies = {
+            name: clone_policy(factories[name], snapshots[name]) for name in factories
+        }
         suite[benchmark] = compare_designs(
             records, config, benchmark=benchmark, seed=seed, policies=policies
         )
@@ -164,20 +218,42 @@ def normalize_to_baseline(
     metric: Callable[[RunResult], float],
     baseline: str = "crc",
 ) -> Dict[str, float]:
-    """Per-design metric values divided by the baseline's (Figs 6-10)."""
+    """Per-design metric values divided by the baseline's (Figs 6-10).
+
+    A zero or non-finite baseline reference cannot anchor a ratio: every
+    design then reports NaN.  (Reporting 0.0 — as an earlier version did
+    — is indistinguishable from "every design measured zero", which
+    silently poisoned downstream geomeans.)
+    """
     reference = metric(results[baseline])
-    if reference == 0:
-        return {name: 0.0 for name in results}
+    if reference == 0 or not math.isfinite(reference):
+        logger.warning(
+            "baseline %r reference is %r; normalized metrics are undefined (NaN)",
+            baseline, reference,
+        )
+        return {name: float("nan") for name in results}
     return {name: metric(result) / reference for name, result in results.items()}
 
 
 def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean over the positive, finite entries of ``values``.
+
+    Non-positive and non-finite entries cannot enter a geometric mean;
+    they are skipped with a counted warning instead of zeroing the whole
+    figure (one degenerate cell used to silently report 0.0 for the
+    entire suite).  Returns NaN when nothing survives.
+    """
     values = [v for v in values]
-    if not values:
-        return 0.0
-    if any(v <= 0 for v in values):
-        return 0.0
+    survivors = [v for v in values if v > 0 and math.isfinite(v)]
+    skipped = len(values) - len(survivors)
+    if skipped:
+        logger.warning(
+            "geometric_mean skipped %d non-positive/non-finite value(s) of %d",
+            skipped, len(values),
+        )
+    if not survivors:
+        return float("nan")
     product = 1.0
-    for v in values:
+    for v in survivors:
         product *= v
-    return product ** (1.0 / len(values))
+    return product ** (1.0 / len(survivors))

@@ -39,10 +39,15 @@ Point kinds
     The classic load sweep: one design under open-loop synthetic traffic
     at one injection rate; reports latency / throughput / saturation.
 ``suite``
-    One design over an ordered benchmark list with a *single* shared
-    pre-training phase and policy state carried across benchmarks —
-    exactly ``experiment.run_parsec_suite``'s per-design chain, which
-    cannot be split further without changing results.
+    One design over an ordered benchmark list: a single pre-training
+    phase, snapshotted, then every benchmark runs a fresh clone of the
+    frozen snapshot — exactly ``experiment.run_parsec_suite``'s
+    per-design row, with online adaptation kept cell-local.
+``campaign``
+    One (benchmark, design) cell of the paper-figure campaign: the
+    policy is cloned from a pretrained artifact on disk
+    (``repro.sim.campaign``) instead of pre-training in-cell, so the
+    grid pays each design's pre-training phase exactly once.
 ``mode_error``
     The raw mode trade-off surface: the whole mesh pinned to one
     operation mode under a flat channel error probability (used by
@@ -83,9 +88,11 @@ from repro.noc.packet import Packet
 from repro.noc.routing import ROUTING_FUNCTIONS
 from repro.noc.topology import MeshTopology
 from repro.noc.watchdog import NoCInvariantError
+from repro.sim.checkpoint import load_policy_artifact
 from repro.sim.config import SimulationConfig
 from repro.sim.experiment import (
     DESIGN_ORDER,
+    clone_policy,
     default_design_factories,
     normalize_to_baseline,
     pretrain_policy,
@@ -125,14 +132,21 @@ __all__ = [
 #: ``soft_error_spec`` point field) — SEU flips in Q-table SRAM and mode
 #: registers change every evaluator's result surface, so the key hashes
 #: the SEU spec (and the config now carries ecc_protect / scrub_every).
-CACHE_SCHEMA = 5
+#: Schema 6: the paper-figure campaign (``campaign`` kind, with the
+#: pretrained-artifact content hash in the key), the cross-benchmark
+#: leakage fix (``suite`` cells now clone from a frozen post-pretrain
+#: snapshot instead of chaining one live policy), and full-32-bit-CRC
+#: benchmark trace seeding — every trace/suite result surface changed,
+#: so schema-5 entries must miss.
+CACHE_SCHEMA = 6
 
 DEFAULT_CACHE_DIR = ".sweep_cache"
 
 logger = logging.getLogger("repro.sim.sweep")
 
 POINT_KINDS = (
-    "trace", "load", "suite", "mode_error", "chaos", "sensor_chaos", "soft_error",
+    "trace", "load", "suite", "mode_error", "chaos", "sensor_chaos",
+    "soft_error", "campaign",
 )
 
 MODE_DESIGNS = tuple(f"mode{int(m)}" for m in OperationMode)
@@ -170,6 +184,15 @@ class SweepPoint:
     #: soft-error (SEU) campaign spec ("" = upset-free SRAM); part of the
     #: cache key (schema 5)
     soft_error_spec: str = ""
+    #: content hash of the pretrained-policy artifact a ``campaign`` cell
+    #: clones from ("" = stateless design); part of the cache key, so a
+    #: cell retrained under a different config can never replay stale
+    #: results
+    artifact_hash: str = ""
+    #: filesystem location of that artifact; deliberately NOT in the
+    #: cache key — moving or renaming the artifact directory must not
+    #: invalidate results whose content hash is unchanged
+    artifact_path: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
@@ -208,6 +231,8 @@ class SweepPoint:
             parts.append(self.sensor_spec)
         if self.soft_error_spec:
             parts.append(self.soft_error_spec)
+        if self.artifact_hash:
+            parts.append(f"a{self.artifact_hash[:8]}")
         return ":".join(parts)
 
 
@@ -331,18 +356,62 @@ def _eval_trace(config: SimulationConfig, point: SweepPoint) -> Dict[str, object
 
 
 def _eval_suite(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    """One design's row of the benchmark suite.
+
+    The design is pre-trained once, snapshotted, and every benchmark in
+    the row then runs a fresh clone of the frozen snapshot — matching
+    ``run_parsec_suite`` and keeping online adaptation cell-local (the
+    previous single-live-policy chain leaked learned state from each
+    benchmark into the next, making results order-dependent).
+    """
     config = dataclasses.replace(config, error_scale=point.error_scale)
-    policy = default_design_factories(point.seed)[point.design]()
+    factory = default_design_factories(point.seed)[point.design]
+    policy = factory()
     pretrain_policy(policy, config, seed=point.seed)
+    snapshot = policy.to_state()
     suite = {}
     for benchmark in point.traffic.split(","):
         records = synthesize_benchmark_trace(benchmark, config, point.cycles, point.seed)
         result = run_design_on_trace(
-            policy, records, config,
+            clone_policy(factory, snapshot), records, config,
             benchmark=benchmark, seed=point.seed, pretrained=True,
         )
         suite[benchmark] = result.constructor_dict()
     return {"suite": suite}
+
+
+def _eval_campaign(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
+    """One campaign cell: a single (benchmark, design) measurement run
+    cloned from a pretrained, frozen policy artifact.
+
+    The artifact container is validated (magic, version, body CRC) and
+    its content key checked against the point's ``artifact_hash`` before
+    the state is loaded — a missing, torn, or mismatched artifact is an
+    evaluator failure, which the supervisor retries and then
+    quarantines instead of measuring garbage.
+    """
+    config = dataclasses.replace(config, error_scale=point.error_scale)
+    factory = default_design_factories(point.seed)[point.design]
+    policy = factory()
+    if point.artifact_path:
+        state, meta = load_policy_artifact(point.artifact_path)
+        if point.artifact_hash and meta.get("key") != point.artifact_hash:
+            raise ValueError(
+                f"artifact {point.artifact_path} carries key "
+                f"{meta.get('key')!r}; this cell expects {point.artifact_hash!r}"
+            )
+        policy = clone_policy(factory, state)
+    elif policy.trainable:
+        raise ValueError(
+            f"campaign cell for trainable design {point.design!r} has no "
+            "pretrained artifact; run it through repro.sim.campaign"
+        )
+    records = synthesize_benchmark_trace(point.traffic, config, point.cycles, point.seed)
+    result = run_design_on_trace(
+        policy, records, config,
+        benchmark=point.traffic, seed=point.seed, pretrained=True,
+    )
+    return {"run": result.constructor_dict()}
 
 
 def _eval_load(config: SimulationConfig, point: SweepPoint) -> Dict[str, object]:
@@ -687,6 +756,7 @@ _EVALUATORS = {
     "chaos": _eval_chaos,
     "sensor_chaos": _eval_sensor_chaos,
     "soft_error": _eval_soft_error,
+    "campaign": _eval_campaign,
 }
 
 
@@ -739,11 +809,19 @@ class _PendingTask:
 # Cache
 # ----------------------------------------------------------------------
 def point_cache_key(config: SimulationConfig, point: SweepPoint) -> str:
-    """Stable content hash of everything a point's result depends on."""
+    """Stable content hash of everything a point's result depends on.
+
+    ``artifact_path`` is excluded: where an artifact lives is an
+    execution detail, while WHAT it contains is covered by
+    ``artifact_hash`` — so a relocated artifact directory replays from
+    cache and a retrained artifact (new hash) re-simulates.
+    """
+    point_dict = dataclasses.asdict(point)
+    point_dict.pop("artifact_path", None)
     fingerprint = {
         "schema": CACHE_SCHEMA,
         "config": dataclasses.asdict(config),
-        "point": dataclasses.asdict(point),
+        "point": point_dict,
     }
     blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]

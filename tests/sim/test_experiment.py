@@ -1,20 +1,26 @@
 """Tests for the experiment runner."""
 
+import math
+import zlib
+
 import pytest
 
 from repro.baselines import crc_policy
 from repro.core.rl_policy import RLControlPolicy
 from repro.sim import (
     DESIGN_ORDER,
+    benchmark_trace_seed,
     compare_designs,
     default_design_factories,
     geometric_mean,
     normalize_to_baseline,
     pretrain_policy,
     run_design_on_trace,
+    run_parsec_suite,
     scaled_config,
     synthesize_benchmark_trace,
 )
+from repro.traffic import PARSEC_PROFILES
 
 
 def tiny_config():
@@ -91,5 +97,78 @@ class TestNormalization:
 
     def test_geometric_mean(self):
         assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
-        assert geometric_mean([]) == 0.0
-        assert geometric_mean([1.0, 0.0]) == 0.0
+
+    def test_geometric_mean_empty_is_nan(self):
+        # An empty geomean is undefined, not "everything matched the
+        # baseline perfectly" — 0.0 used to read as a real ratio.
+        assert math.isnan(geometric_mean([]))
+
+    def test_geometric_mean_skips_non_positive(self):
+        # Non-positive/non-finite values are excluded (with a warning),
+        # not allowed to zero out the whole aggregate.
+        assert geometric_mean([1.0, 0.0]) == pytest.approx(1.0)
+        assert geometric_mean([4.0, -2.0, 9.0]) == pytest.approx(6.0)
+        assert geometric_mean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+        assert math.isnan(geometric_mean([0.0, -1.0]))
+
+    def test_normalize_to_baseline_zero_reference_is_nan(self):
+        config = tiny_config()
+        records = synthesize_benchmark_trace("swaptions", config, cycles=300, seed=1)
+        results = compare_designs(
+            records, config, seed=1,
+            designs={"crc": crc_policy, "arq_ecc": default_design_factories()["arq_ecc"]},
+        )
+        # A metric that is 0 for the baseline has no meaningful ratio;
+        # every design must come out NaN, never a masked 0.0 or a crash.
+        normalized = normalize_to_baseline(results, lambda r: 0.0)
+        assert set(normalized) == set(results)
+        assert all(math.isnan(v) for v in normalized.values())
+
+
+class TestTraceSeeding:
+    def test_full_crc_mixed_into_seed(self):
+        # The seed mixes the full 32-bit CRC of the name, not a mod-1000
+        # truncation of it.
+        assert benchmark_trace_seed("canneal", 7) == 7 + zlib.crc32(b"canneal")
+
+    def test_profiles_get_distinct_seeds(self):
+        seeds = {name: benchmark_trace_seed(name) for name in PARSEC_PROFILES}
+        assert len(set(seeds.values())) == len(seeds)
+
+    def test_mod_1000_collision_no_longer_collides(self):
+        # Regression for the truncated seed: find two names whose CRCs
+        # collide mod 1000 (as the old `% 1000` seeding used) and check
+        # the full-width seeds still differ.
+        reference = zlib.crc32(b"canneal") % 1000
+        collider = next(
+            name
+            for name in (f"bench{i}" for i in range(100_000))
+            if zlib.crc32(name.encode()) % 1000 == reference
+            and zlib.crc32(name.encode()) != zlib.crc32(b"canneal")
+        )
+        assert benchmark_trace_seed(collider) != benchmark_trace_seed("canneal")
+
+
+class TestSuiteOrderIndependence:
+    def test_run_parsec_suite_order_independent(self):
+        # Regression for the cross-benchmark policy-state leak: each
+        # cell must clone its policy from the frozen pretrain snapshot,
+        # so permuting the benchmark list cannot change any cell.
+        config = tiny_config()
+        factories = default_design_factories(3)
+        designs = {name: factories[name] for name in ("crc", "rl")}
+        forward = run_parsec_suite(
+            config, trace_cycles=400, seed=3,
+            benchmarks=["swaptions", "blackscholes"], designs=designs,
+        )
+        reversed_ = run_parsec_suite(
+            config, trace_cycles=400, seed=3,
+            benchmarks=["blackscholes", "swaptions"], designs=designs,
+        )
+        assert set(forward) == set(reversed_)
+        for benchmark, results in forward.items():
+            for design, result in results.items():
+                assert (
+                    result.constructor_dict()
+                    == reversed_[benchmark][design].constructor_dict()
+                ), f"{benchmark}/{design} changed with benchmark order"

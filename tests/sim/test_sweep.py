@@ -609,8 +609,9 @@ class TestMerging:
 
     def test_suite_points_equal_run_parsec_suite(self, tmp_path):
         """The suite kind must preserve run_parsec_suite's exact
-        semantics: shared pre-training, policy state carried across
-        benchmarks in order."""
+        semantics: one pre-training per design, every benchmark cell
+        cloned fresh from the frozen snapshot (no state carried across
+        benchmarks)."""
         config = tiny_config(pretrain_cycles=1_500)
         benchmarks = ("swaptions", "blackscholes")
         spec = SweepSpec(

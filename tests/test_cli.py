@@ -219,6 +219,58 @@ class TestSoftErrorChaosCommand:
         assert "qtable@5e-4" in out and "ok" in out
 
 
+class TestCampaignCommand:
+    def _argv(self, tmp_path, extra=()):
+        return [
+            "campaign", "--benchmarks", "swaptions,blackscholes",
+            "--designs", "crc,dt",
+            "--width", "3", "--height", "3",
+            "--epoch", "100", "--pretrain", "1200",
+            "--warmup", "200", "--trace-cycles", "300",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--artifact-dir", str(tmp_path / "artifacts"),
+            *extra,
+        ]
+
+    def test_rejects_unknown_benchmark(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(self._argv(tmp_path, ["--benchmarks", "doom"]))
+
+    def test_rejects_unknown_design(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown design"):
+            main(self._argv(tmp_path, ["--designs", "fpga"]))
+
+    def test_json_report_and_warm_rerun(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, ["--json"])) == 0
+        captured = capsys.readouterr()
+        assert "1 artifact(s) built, 0 reused" in captured.err
+        report = json.loads(captured.out)
+        assert report["schema"] == 1
+        assert report["benchmarks"] == ["blackscholes", "swaptions"]
+        assert report["designs"] == ["crc", "dt"]
+        for figure in report["figures"].values():
+            assert figure["geomean"]["crc"] == pytest.approx(1.0)
+
+        assert main(self._argv(tmp_path, ["--json"])) == 0
+        captured = capsys.readouterr()
+        assert "0 artifact(s) built, 1 reused" in captured.err
+        assert "0 cell(s) simulated, 4 from cache" in captured.err
+        assert json.loads(captured.out) == report
+
+    def test_markdown_output_and_report_files(self, capsys, tmp_path):
+        report_json = tmp_path / "report.json"
+        report_md = tmp_path / "report.md"
+        argv = self._argv(tmp_path, [
+            "--report-json", str(report_json), "--report-md", str(report_md),
+        ])
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "| Figure | Direction | crc | dt |" in out
+        assert "| **geomean** |" in out
+        assert json.load(report_json.open())["schema"] == 1
+        assert report_md.read_text() in out
+
+
 class TestSpecValidation:
     """Malformed grammars exit with one line naming the bad clause."""
 
